@@ -1,0 +1,130 @@
+(* emask — command-line driver for the error-masking library.
+
+   Subcommands:
+     list      enumerate the built-in benchmark suite
+     spcf      compute speed-path characteristic functions
+     protect   synthesize + verify an error-masking circuit
+     wearout   aging sweep with the timing simulator
+     trace     trace-buffer window expansion report *)
+
+open Cmdliner
+
+let load_circuit spec =
+  if Sys.file_exists spec then Blif.parse_file spec else Suite.load spec
+
+let circuit_arg =
+  let doc = "Benchmark name (see $(b,emask list)) or path to a BLIF file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let theta_arg =
+  let doc = "Target arrival factor: speed-paths within (1-THETA) of the critical path delay." in
+  Arg.(value & opt float 0.9 & info [ "theta" ] ~docv:"THETA" ~doc)
+
+let algorithm_arg =
+  let doc = "SPCF algorithm: short (proposed, exact), path (exact), node (over-approximate)." in
+  let algo_conv = Arg.enum [ ("short", `Short); ("path", `Path); ("node", `Node) ] in
+  Arg.(value & opt algo_conv `Short & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-18s %8s %8s %8s\n" "name" "inputs" "outputs" "paper-gates";
+    List.iter
+      (fun e ->
+        Printf.printf "%-18s %8d %8d %8d\n" e.Suite.ename e.Suite.params.Generator.n_pi
+          e.Suite.params.Generator.n_po e.Suite.paper_gates)
+      Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark suite")
+    Term.(const run $ const ())
+
+let spcf_run spec theta algo =
+  let net = load_circuit spec in
+  let mc = Mapper.map net in
+  let ctx = Spcf.Ctx.create mc in
+  let target = Spcf.Ctx.target_of_theta ctx theta in
+  let r =
+    match algo with
+    | `Short -> Spcf.Exact.short_path ctx ~target
+    | `Path -> Spcf.Exact.path_based ctx ~target
+    | `Node -> Spcf.Node_based.compute ctx ~target
+  in
+  Printf.printf "circuit: %s\n" spec;
+  Printf.printf "gates: %d  area: %.1f  delta: %.3f  target: %.3f\n"
+    (Mapped.gate_count mc) (Mapped.area mc) (Spcf.Ctx.delta ctx) target;
+  Printf.printf "algorithm: %s  runtime: %.3fs\n" r.Spcf.Ctx.algorithm
+    r.Spcf.Ctx.runtime;
+  Printf.printf "critical outputs: %d\n" (Spcf.Ctx.num_critical_outputs r);
+  List.iter
+    (fun (name, _, sigma) ->
+      Printf.printf "  %-16s critical minterms: %s\n" name
+        (Extfloat.to_string (Bdd.satcount ctx.Spcf.Ctx.man sigma)))
+    r.Spcf.Ctx.outputs;
+  Printf.printf "total critical minterms: %s\n"
+    (Extfloat.to_string (Spcf.Ctx.count ctx r))
+
+let spcf_cmd =
+  Cmd.v
+    (Cmd.info "spcf" ~doc:"Compute the speed-path characteristic function")
+    Term.(const spcf_run $ circuit_arg $ theta_arg $ algorithm_arg)
+
+let protect_run spec theta out =
+  let net = load_circuit spec in
+  let options = { Masking.Synthesis.default_options with theta } in
+  let m = Masking.Synthesis.synthesize ~options net in
+  let r = Masking.Verify.check m in
+  Format.printf "circuit: %s@." spec;
+  Format.printf "%a@." Masking.Verify.pp r;
+  (match out with
+  | Some path ->
+    Blif.write_file ~model:(Filename.basename path) path
+      (Mapped.network m.Masking.Synthesis.combined);
+    Format.printf "combined circuit written to %s@." path
+  | None -> ())
+
+let out_arg =
+  let doc = "Write the combined (protected) circuit as BLIF to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let protect_cmd =
+  Cmd.v
+    (Cmd.info "protect" ~doc:"Synthesize and verify an error-masking circuit")
+    Term.(const protect_run $ circuit_arg $ theta_arg $ out_arg)
+
+let wearout_run spec trials =
+  let net = load_circuit spec in
+  let m = Masking.Synthesis.synthesize net in
+  let samples = Masking.Monitor.aging_sweep ~trials m in
+  List.iter (fun s -> Format.printf "%a@." Masking.Monitor.pp_sample s) samples
+
+let trials_arg =
+  let doc = "Random input transitions per aging factor." in
+  Arg.(value & opt int 400 & info [ "trials" ] ~docv:"N" ~doc)
+
+let wearout_cmd =
+  Cmd.v
+    (Cmd.info "wearout" ~doc:"Aging sweep: raw vs masked vs logged error rates")
+    Term.(const wearout_run $ circuit_arg $ trials_arg)
+
+let trace_run spec buffer cycles =
+  let net = load_circuit spec in
+  let m = Masking.Synthesis.synthesize net in
+  let r = Masking.Trace_buffer.selective_capture ~buffer_size:buffer ~cycles m in
+  Format.printf "%a@." Masking.Trace_buffer.pp r
+
+let buffer_arg =
+  Arg.(value & opt int 64 & info [ "buffer" ] ~docv:"ENTRIES" ~doc:"Trace buffer size.")
+
+let cycles_arg =
+  Arg.(value & opt int 100000 & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to simulate.")
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Trace-buffer window expansion via selective capture")
+    Term.(const trace_run $ circuit_arg $ buffer_arg $ cycles_arg)
+
+let () =
+  let info =
+    Cmd.info "emask" ~version:"1.0.0"
+      ~doc:"Masking timing errors on speed-paths in logic circuits (DATE 2009)"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; spcf_cmd; protect_cmd; wearout_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Array Extfloat Hashtbl List Logic2

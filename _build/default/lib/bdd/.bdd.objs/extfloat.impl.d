@@ -1,0 +1,1 @@
+lib/bdd/extfloat.ml: Float Format Printf Stdlib

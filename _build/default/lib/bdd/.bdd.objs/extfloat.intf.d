@@ -1,0 +1,1 @@
+lib/bdd/extfloat.mli: Format

@@ -1,0 +1,1 @@
+lib/bdd/isop.ml: Bdd Hashtbl List Logic2

@@ -1,0 +1,291 @@
+(* Reduced ordered binary decision diagrams with a hash-consed unique
+   table and an ite computed-table, per manager. Node handles are ints;
+   0 and 1 are the terminals. Variables are 0 .. nvars-1 in fixed order. *)
+
+type t = int
+
+type man = {
+  nvars : int;
+  mutable var : int array; (* variable label per node; nvars for terminals *)
+  mutable low : int array;
+  mutable high : int array;
+  mutable n_nodes : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+}
+
+let bfalse : t = 0
+let btrue : t = 1
+
+let create ~nvars () =
+  if nvars < 0 then invalid_arg "Bdd.create: negative nvars";
+  let cap = 1024 in
+  let var = Array.make cap 0 and low = Array.make cap 0 and high = Array.make cap 0 in
+  var.(0) <- nvars;
+  var.(1) <- nvars;
+  {
+    nvars;
+    var;
+    low;
+    high;
+    n_nodes = 2;
+    unique = Hashtbl.create 4096;
+    ite_cache = Hashtbl.create 4096;
+  }
+
+let nvars man = man.nvars
+let num_nodes man = man.n_nodes
+
+let var_of man n = man.var.(n)
+let low_of man n = man.low.(n)
+let high_of man n = man.high.(n)
+let is_terminal n = n < 2
+
+let grow man =
+  let cap = Array.length man.var in
+  let cap' = cap * 2 in
+  let extend a = Array.init cap' (fun i -> if i < cap then a.(i) else 0) in
+  man.var <- extend man.var;
+  man.low <- extend man.low;
+  man.high <- extend man.high
+
+let mk man v lo hi =
+  if lo = hi then lo
+  else
+    let key = (v, lo, hi) in
+    match Hashtbl.find_opt man.unique key with
+    | Some n -> n
+    | None ->
+      if man.n_nodes >= Array.length man.var then grow man;
+      let n = man.n_nodes in
+      man.var.(n) <- v;
+      man.low.(n) <- lo;
+      man.high.(n) <- hi;
+      man.n_nodes <- n + 1;
+      Hashtbl.add man.unique key n;
+      n
+
+let var man v =
+  if v < 0 || v >= man.nvars then invalid_arg "Bdd.var: out of range";
+  mk man v bfalse btrue
+
+let nvar man v =
+  if v < 0 || v >= man.nvars then invalid_arg "Bdd.nvar: out of range";
+  mk man v btrue bfalse
+
+(* Cofactors of [n] w.r.t. variable [v], assuming v <= var(n). *)
+let cofactors man v n =
+  if man.var.(n) = v then (man.low.(n), man.high.(n)) else (n, n)
+
+let rec ite man f g h =
+  if f = btrue then g
+  else if f = bfalse then h
+  else if g = h then g
+  else if g = btrue && h = bfalse then f
+  else
+    let key = (f, g, h) in
+    match Hashtbl.find_opt man.ite_cache key with
+    | Some r -> r
+    | None ->
+      let v = min man.var.(f) (min man.var.(g) man.var.(h)) in
+      let f0, f1 = cofactors man v f in
+      let g0, g1 = cofactors man v g in
+      let h0, h1 = cofactors man v h in
+      let r1 = ite man f1 g1 h1 in
+      let r0 = ite man f0 g0 h0 in
+      let r = mk man v r0 r1 in
+      Hashtbl.add man.ite_cache key r;
+      r
+
+let bnot man f = ite man f bfalse btrue
+let band man f g = ite man f g bfalse
+let bor man f g = ite man f btrue g
+let bxor man f g = ite man f (bnot man g) g
+let bnand man f g = bnot man (band man f g)
+let bnor man f g = bnot man (bor man f g)
+let bxnor man f g = bnot man (bxor man f g)
+let bimply man f g = ite man f g btrue
+
+let band_list man = List.fold_left (band man) btrue
+let bor_list man = List.fold_left (bor man) bfalse
+
+let rec eval man f assignment =
+  if f = btrue then true
+  else if f = bfalse then false
+  else if assignment.(man.var.(f)) then eval man man.high.(f) assignment
+  else eval man man.low.(f) assignment
+
+let size man f =
+  let seen = Hashtbl.create 64 in
+  let rec walk n =
+    if not (is_terminal n || Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      walk man.low.(n);
+      walk man.high.(n)
+    end
+  in
+  walk f;
+  Hashtbl.length seen + 2
+
+let support man f =
+  let seen = Hashtbl.create 64 in
+  let vars = Array.make man.nvars false in
+  let rec walk n =
+    if not (is_terminal n || Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      vars.(man.var.(n)) <- true;
+      walk man.low.(n);
+      walk man.high.(n)
+    end
+  in
+  walk f;
+  vars
+
+(* Minterm count over all nvars variables, in extended-range arithmetic.
+   count(n) counts assignments of variables var(n) .. nvars-1; the root
+   result is then scaled by 2^var(root). *)
+let satcount man f =
+  let memo = Hashtbl.create 64 in
+  let rec count n =
+    if n = bfalse then Extfloat.zero
+    else if n = btrue then Extfloat.one
+    else
+      match Hashtbl.find_opt memo n with
+      | Some c -> c
+      | None ->
+        let v = man.var.(n) in
+        let branch child =
+          Extfloat.mul_pow2 (count child) (man.var.(child) - v - 1)
+        in
+        let c = Extfloat.add (branch man.low.(n)) (branch man.high.(n)) in
+        Hashtbl.add memo n c;
+        c
+  in
+  if f = bfalse then Extfloat.zero
+  else Extfloat.mul_pow2 (count f) man.var.(f)
+
+(* One satisfying (partial) assignment as (var, value) literals. *)
+let any_sat man f =
+  if f = bfalse then None
+  else begin
+    let rec descend n acc =
+      if n = btrue then acc
+      else if man.high.(n) <> bfalse then
+        descend man.high.(n) ((man.var.(n), true) :: acc)
+      else descend man.low.(n) ((man.var.(n), false) :: acc)
+    in
+    Some (List.rev (descend f []))
+  end
+
+(* Uniformly sample a full minterm of f, weighting branch choice by
+   satcount. [rand_float ()] must be uniform in [0,1). *)
+let sample_sat man f ~rand_float =
+  if f = bfalse then None
+  else begin
+    let assignment = Array.make man.nvars false in
+    let flip v = assignment.(v) <- rand_float () < 0.5 in
+    let rec descend n next_var =
+      if n = btrue then
+        for v = next_var to man.nvars - 1 do
+          flip v
+        done
+      else begin
+        let v = man.var.(n) in
+        for u = next_var to v - 1 do
+          flip u
+        done;
+        let c_lo = satcount man man.low.(n) and c_hi = satcount man man.high.(n) in
+        let total = Extfloat.add c_lo c_hi in
+        (* P(high) = c_hi / total, computed in extended range. *)
+        let p_hi =
+          if Extfloat.is_zero c_hi then 0.
+          else Extfloat.to_float (Extfloat.div c_hi total)
+        in
+        let take_hi = rand_float () < p_hi in
+        assignment.(v) <- take_hi;
+        descend (if take_hi then man.high.(n) else man.low.(n)) (v + 1)
+      end
+    in
+    (* satcount of subnodes counts vars below var(n); using the manager
+       satcount keeps results consistent since the 2^k factors cancel in
+       the ratio only if both children start at the same depth — they do,
+       because both counts are scaled to full nvars here. *)
+    descend f 0;
+    Some assignment
+  end
+
+(* Existential quantification over the variables marked true in [vars]. *)
+let exists man vars f =
+  let memo = Hashtbl.create 64 in
+  let rec ex n =
+    if is_terminal n then n
+    else
+      match Hashtbl.find_opt memo n with
+      | Some r -> r
+      | None ->
+        let v = man.var.(n) in
+        let lo = ex man.low.(n) and hi = ex man.high.(n) in
+        let r = if vars.(v) then bor man lo hi else mk man v lo hi in
+        Hashtbl.add memo n r;
+        r
+  in
+  ex f
+
+let forall man vars f = bnot man (exists man vars (bnot man f))
+
+(* Restrict variable v to a constant. *)
+let restrict man f v value =
+  let memo = Hashtbl.create 64 in
+  let rec go n =
+    if is_terminal n || man.var.(n) > v then n
+    else
+      match Hashtbl.find_opt memo n with
+      | Some r -> r
+      | None ->
+        let r =
+          if man.var.(n) = v then if value then man.high.(n) else man.low.(n)
+          else mk man man.var.(n) (go man.low.(n)) (go man.high.(n))
+        in
+        Hashtbl.add memo n r;
+        r
+  in
+  go f
+
+(* Simultaneous substitution: variable i is replaced by subs.(i). *)
+let compose_vec man f subs =
+  if Array.length subs <> man.nvars then
+    invalid_arg "Bdd.compose_vec: substitution arity mismatch";
+  let memo = Hashtbl.create 64 in
+  let rec go n =
+    if is_terminal n then n
+    else
+      match Hashtbl.find_opt memo n with
+      | Some r -> r
+      | None ->
+        let r = ite man subs.(man.var.(n)) (go man.high.(n)) (go man.low.(n)) in
+        Hashtbl.add memo n r;
+        r
+  in
+  go f
+
+(* A cube over BDD inputs given as function handles: AND of literals with
+   each variable v standing for inputs.(v). *)
+let cube_with man cube inputs =
+  List.fold_left
+    (fun acc (v, ph) ->
+      let lit = if ph then inputs.(v) else bnot man inputs.(v) in
+      band man acc lit)
+    btrue (Logic2.Cube.literals cube)
+
+let cover_with man cover inputs =
+  List.fold_left
+    (fun acc c -> bor man acc (cube_with man c inputs))
+    bfalse
+    (Logic2.Cover.cubes cover)
+
+(* Direct encodings where cover variable i is BDD variable i. *)
+let of_cube man cube =
+  cube_with man cube (Array.init man.nvars (fun v -> var man v))
+
+let of_cover man cover =
+  cover_with man cover (Array.init man.nvars (fun v -> var man v))

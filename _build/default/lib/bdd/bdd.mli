@@ -1,0 +1,59 @@
+(** Reduced ordered BDDs. Handles are valid only with the manager that
+    created them; equal handles denote equal functions. *)
+
+type t = private int
+type man
+
+val bfalse : t
+val btrue : t
+
+val create : nvars:int -> unit -> man
+val nvars : man -> int
+val num_nodes : man -> int
+(** Total nodes allocated in the manager (a growth diagnostic). *)
+
+val var : man -> int -> t
+val nvar : man -> int -> t
+
+val var_of : man -> t -> int
+val low_of : man -> t -> t
+val high_of : man -> t -> t
+val is_terminal : t -> bool
+
+val ite : man -> t -> t -> t -> t
+val bnot : man -> t -> t
+val band : man -> t -> t -> t
+val bor : man -> t -> t -> t
+val bxor : man -> t -> t -> t
+val bnand : man -> t -> t -> t
+val bnor : man -> t -> t -> t
+val bxnor : man -> t -> t -> t
+val bimply : man -> t -> t -> t
+val band_list : man -> t list -> t
+val bor_list : man -> t list -> t
+
+val eval : man -> t -> bool array -> bool
+val size : man -> t -> int
+(** Nodes reachable from the root, terminals included. *)
+
+val support : man -> t -> bool array
+
+val satcount : man -> t -> Extfloat.t
+(** Number of satisfying assignments over all manager variables. *)
+
+val any_sat : man -> t -> (int * bool) list option
+val sample_sat : man -> t -> rand_float:(unit -> float) -> bool array option
+(** Uniform random minterm of the function, or [None] if unsatisfiable. *)
+
+val exists : man -> bool array -> t -> t
+val forall : man -> bool array -> t -> t
+val restrict : man -> t -> int -> bool -> t
+val compose_vec : man -> t -> t array -> t
+
+val cube_with : man -> Logic2.Cube.t -> t array -> t
+(** The cube with its variable [v] standing for the function
+    [inputs.(v)] — i.e. the cube evaluated on arbitrary signals. *)
+
+val cover_with : man -> Logic2.Cover.t -> t array -> t
+val of_cube : man -> Logic2.Cube.t -> t
+val of_cover : man -> Logic2.Cover.t -> t

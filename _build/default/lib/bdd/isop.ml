@@ -1,0 +1,62 @@
+(* Irredundant sum-of-products extraction from a BDD interval
+   (Minato-Morreale). Given lower and upper bound functions L ⊆ U, the
+   result is a cover F with L ⊆ F ⊆ U — the don't-care gap U \ L is
+   exploited to shrink the cover. Used to synthesize indicator logic
+   directly from SPCF BDDs. *)
+
+let compute man ~lower ~upper =
+  let nvars = Bdd.nvars man in
+  let memo : (Bdd.t * Bdd.t, (int * bool) list list * Bdd.t) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  (* Returns (cubes, g) where g is the BDD of the cover. Cubes are built
+     as literal lists over BDD variables. *)
+  let rec isop l u =
+    if l = Bdd.bfalse then ([], Bdd.bfalse)
+    else if u = Bdd.btrue then ([ [] ], Bdd.btrue)
+    else begin
+      let key = (l, u) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+        let v = min (Bdd.var_of man l) (Bdd.var_of man u) in
+        let cof f value =
+          if Bdd.is_terminal f || Bdd.var_of man f <> v then f
+          else if value then Bdd.high_of man f
+          else Bdd.low_of man f
+        in
+        let l0 = cof l false and l1 = cof l true in
+        let u0 = cof u false and u1 = cof u true in
+        (* Minterms of l0 not coverable by v-free cubes must use ¬v. *)
+        let l_n = Bdd.band man l0 (Bdd.bnot man u1) in
+        let cubes0, g0 = isop l_n u0 in
+        let l_p = Bdd.band man l1 (Bdd.bnot man u0) in
+        let cubes1, g1 = isop l_p u1 in
+        (* What remains after the v-literal cubes. *)
+        let rest0 = Bdd.band man l0 (Bdd.bnot man g0) in
+        let rest1 = Bdd.band man l1 (Bdd.bnot man g1) in
+        let l_d = Bdd.bor man rest0 rest1 in
+        let cubes_d, gd = isop l_d (Bdd.band man u0 u1) in
+        let cubes =
+          List.map (fun c -> (v, false) :: c) cubes0
+          @ List.map (fun c -> (v, true) :: c) cubes1
+          @ cubes_d
+        in
+        let g =
+          Bdd.bor man gd
+            (Bdd.bor man
+               (Bdd.band man (Bdd.nvar man v) g0)
+               (Bdd.band man (Bdd.var man v) g1))
+        in
+        let r = (cubes, g) in
+        Hashtbl.replace memo key r;
+        r
+    end
+  in
+  let cubes, g = isop lower upper in
+  (* Sanity: lower ⊆ g ⊆ upper. *)
+  assert (Bdd.bimply man lower g = Bdd.btrue);
+  assert (Bdd.bimply man g upper = Bdd.btrue);
+  Logic2.Cover.of_cubes nvars (List.map (Logic2.Cube.make nvars) cubes)
+
+let of_bdd man f = compute man ~lower:f ~upper:f

@@ -1,0 +1,10 @@
+(** Irredundant SOP extraction from BDDs (Minato–Morreale). *)
+
+val compute :
+  Bdd.man -> lower:Bdd.t -> upper:Bdd.t -> Logic2.Cover.t
+(** A cover [F] with [lower ⊆ F ⊆ upper]; the gap is don't-care space
+    exploited to keep the cover small. Variables of the cover are the
+    manager's BDD variables. *)
+
+val of_bdd : Bdd.man -> Bdd.t -> Logic2.Cover.t
+(** Exact cover of a function ([compute] with a collapsed interval). *)

@@ -1,0 +1,1 @@
+lib/circuits/comparator.ml: Logic2 Mapper Network

@@ -1,0 +1,1 @@
+lib/circuits/comparator.mli: Logic2 Mapped Network

@@ -1,0 +1,1 @@
+lib/circuits/generator.ml: Array Float Hashtbl List Logic2 Mapper Network Printf Sta Sys Util

@@ -1,0 +1,1 @@
+lib/circuits/generator.mli: Network

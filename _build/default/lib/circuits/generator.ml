@@ -1,0 +1,434 @@
+(* Seeded generator for synthetic multi-level control logic. It stands in
+   for the ISCAS/MCNC/OpenSPARC netlists the paper used (see DESIGN.md).
+
+   Structure: the primary inputs are split into contiguous *blocks* of at
+   most [max_support] variables. Phase 1 grows an irregular multi-level
+   tree/DAG inside each block — arbitrary node functions, depth-biased
+   fanin choice, bounded fanout reuse (the source of the reconvergence
+   that separates the node-based SPCF over-approximation from the exact
+   algorithms). Phase 2 merges adjacent blocks pairwise with 2-input
+   combine nodes until one region remains.
+
+   Tractability invariant: any node function over more than [max_support]
+   variables combines sub-functions whose primary-input support intervals
+   are disjoint and non-interleaved (blocks are merged in PI order), so
+   BDD sizes compose additively. Every signal's BDD is therefore bounded
+   by (#blocks × 2^max_support / max_support) regardless of circuit
+   width — wide circuits like the 882-input sparc_ifu_ifqdp stay cheap. *)
+
+type params = {
+  name : string;
+  n_pi : int;
+  n_po : int;
+  n_nodes : int;
+  seed : int;
+  p_chain : float; (* probability a fanin is drawn from the newest signals *)
+  p_reuse : float; (* probability of one extra fanin reused from the block *)
+  max_support : int; (* block width; also the rich-function support bound *)
+}
+
+let default_params =
+  {
+    name = "synthetic";
+    n_pi = 16;
+    n_po = 4;
+    n_nodes = 40;
+    seed = 1;
+    p_chain = 0.35;
+    p_reuse = 0.15;
+    max_support = 14;
+  }
+
+let product rng k =
+  Logic2.Cover.of_cubes k
+    [ Logic2.Cube.make k (List.init k (fun v -> (v, Util.Rng.bool rng))) ]
+
+let full_or rng k =
+  Logic2.Cover.of_cubes k
+    (List.init k (fun v -> Logic2.Cube.make k [ (v, Util.Rng.bool rng) ]))
+
+let xor2 =
+  Logic2.Cover.of_cubes 2
+    [ Logic2.Cube.make 2 [ (0, true); (1, false) ]; Logic2.Cube.make 2 [ (0, false); (1, true) ] ]
+
+(* fanin 2 selects between fanins 0 and 1 *)
+let mux3 =
+  Logic2.Cover.of_cubes 3
+    [ Logic2.Cube.make 3 [ (2, false); (0, true) ]; Logic2.Cube.make 3 [ (2, true); (1, true) ] ]
+
+let majority3 =
+  Logic2.Cover.of_cubes 3
+    [
+      Logic2.Cube.make 3 [ (0, true); (1, true) ];
+      Logic2.Cube.make 3 [ (0, true); (2, true) ];
+      Logic2.Cube.make 3 [ (1, true); (2, true) ];
+    ]
+
+let random_sop rng k =
+  let n_cubes = 2 + Util.Rng.int rng 2 in
+  let cube () =
+    let lits = ref [] in
+    for v = 0 to k - 1 do
+      if Util.Rng.float rng < 0.6 then lits := (v, Util.Rng.bool rng) :: !lits
+    done;
+    match !lits with
+    | [] -> Logic2.Cube.make k [ (Util.Rng.int rng k, Util.Rng.bool rng) ]
+    | lits -> Logic2.Cube.make k lits
+  in
+  Logic2.Cover.of_cubes k (List.init n_cubes (fun _ -> cube ()))
+
+(* A random non-degenerate node function over [k] fanins. *)
+let random_func rng k =
+  let candidate () =
+    match (k, Util.Rng.int rng 10) with
+    | 2, (0 | 1 | 2) -> xor2
+    | 3, (0 | 1) -> mux3
+    | 3, 2 -> majority3
+    | _, (2 | 3 | 4) -> product rng k
+    | _, (5 | 6) -> full_or rng k
+    | _, _ -> random_sop rng k
+  in
+  let acceptable f =
+    (not (Logic2.Cover.is_zero f))
+    && (not (Logic2.Cover.is_tautology f))
+    && Logic2.Bits.count (Logic2.Cover.support f) = k
+  in
+  let rec try_one attempts =
+    let f = candidate () in
+    if acceptable f then f
+    else if attempts > 20 then product rng k
+    else try_one (attempts + 1)
+  in
+  try_one 0
+
+(* Remove the [idx]-th element of a list. *)
+let remove_nth idx l =
+  let rec go i acc = function
+    | [] -> assert false
+    | x :: rest ->
+      if i = 0 then (x, List.rev_append acc rest) else go (i - 1) (x :: acc) rest
+  in
+  go idx [] l
+
+(* Draw and remove a pool element; recent elements are preferred with
+   probability [p_chain], which stretches path depth. Also reports
+   whether the depth-biased branch was taken (a "spine" draw). *)
+let draw_from_pool_spine rng p_chain pool =
+  let n = List.length pool in
+  assert (n > 0);
+  let spine = Util.Rng.float rng < p_chain in
+  let idx = if spine then Util.Rng.int rng (min 3 n) else Util.Rng.int rng n in
+  let s, rest = remove_nth idx pool in
+  (s, rest, spine)
+
+let draw_from_pool rng p_chain pool =
+  let s, rest, _ = draw_from_pool_spine rng p_chain pool in
+  (s, rest)
+
+(* Spine nodes favor functions with no early-stabilizing primes (XOR:
+   every prime contains both inputs; MAJ: two of three), so the deep
+   paths they form are genuinely sensitizable and the circuit's
+   floating-mode delay tracks its structural delay — the regime of
+   timing-tight synthesized logic the paper's benchmarks live in. *)
+let spine_func rng k =
+  match (k, Util.Rng.int rng 10) with
+  | 2, (0 | 1 | 2 | 3 | 4 | 5 | 6) -> xor2
+  | 3, (0 | 1 | 2 | 3) -> majority3
+  | 3, (4 | 5) -> mux3
+  | _, _ -> random_func rng k
+
+type region = {
+  mutable pool : Network.signal list; (* open signals, newest first *)
+  mutable members : Network.signal list; (* every signal of the region *)
+  mutable max_level : int; (* deepest signal level in the region *)
+}
+
+let generate p =
+  let rng = Util.Rng.create p.seed in
+  let net = Network.create () in
+  let node_counter = ref 0 in
+  let next_name () =
+    let i = !node_counter in
+    incr node_counter;
+    Printf.sprintf "n%d" i
+  in
+  (* Blocks of adjacent primary inputs. *)
+  let bs = max 2 p.max_support in
+  let nblocks = max 1 ((p.n_pi + bs - 1) / bs) in
+  let regions =
+    Array.init nblocks (fun b ->
+        let lo = b * bs and hi = min p.n_pi ((b + 1) * bs) in
+        let pis =
+          List.init (hi - lo) (fun i -> Network.add_input net (Printf.sprintf "pi%d" (lo + i)))
+        in
+        { pool = List.rev pis; members = pis; max_level = 0 })
+  in
+  (* One node inside a region: fanins from its pool (depth-biased), plus
+     an occasional reused region member (fanout > 1, reconvergence). *)
+  let level = Hashtbl.create 256 in
+  let level_of s = try Hashtbl.find level s with Not_found -> 0 in
+  let add_node_in region =
+    let pool_size = List.length region.pool in
+    let k_wish =
+      match Util.Rng.int rng 10 with
+      | 0 | 1 | 2 | 3 | 4 -> 2
+      | 5 | 6 | 7 -> 3
+      | 8 -> 4
+      | _ -> 5
+    in
+    let k_pool = max 1 (min k_wish pool_size) in
+    let fanins = ref [] in
+    for _ = 1 to k_pool do
+      let s, rest = draw_from_pool rng p.p_chain region.pool in
+      region.pool <- rest;
+      fanins := s :: !fanins
+    done;
+    let members = Array.of_list region.members in
+    let top_up target =
+      let tries = ref 0 in
+      while List.length !fanins < target && !tries < 10 do
+        incr tries;
+        let s = Util.Rng.pick rng members in
+        if not (List.mem s !fanins) then fanins := s :: !fanins
+      done
+    in
+    top_up k_wish;
+    if Util.Rng.float rng < p.p_reuse then top_up (List.length !fanins + 1);
+    let fanins = Array.of_list !fanins in
+    let k = Array.length fanins in
+    (* A node that extends the region's deepest path gets a function with
+       no early-stabilizing primes, so the deepest paths stay genuinely
+       sensitizable (floating delay tracks structural delay). *)
+    let fanin_level =
+      Array.fold_left (fun acc f -> max acc (level_of f)) 0 fanins
+    in
+    let spine = fanin_level >= region.max_level in
+    let func =
+      if k = 1 then Logic2.Cover.of_cubes 1 [ Logic2.Cube.make 1 [ (0, false) ] ]
+      else if spine then spine_func rng k
+      else random_func rng k
+    in
+    let s = Network.add_node net (next_name ()) ~fanins ~func in
+    Hashtbl.replace level s (fanin_level + 1);
+    region.max_level <- max region.max_level (fanin_level + 1);
+    region.pool <- s :: region.pool;
+    region.members <- s :: region.members
+  in
+  (* Phase 1: spread the node budget evenly over blocks (round-robin), so
+     block depths stay comparable and many structural paths land within
+     10 % of the critical path delay — the regime the paper's benchmarks
+     exhibit and the SPCF experiments need. *)
+  let merge_budget = 2 * (nblocks - 1) in
+  let phase1_budget = max 0 (p.n_nodes - merge_budget) in
+  for i = 0 to phase1_budget - 1 do
+    add_node_in regions.(i mod nblocks)
+  done;
+  (* Phase 2: merge adjacent regions pairwise (in PI order) with 2-input
+     combine nodes over one open signal from each side — sibling support
+     intervals never interleave. *)
+  let combine a b =
+    let sa, rest_a = draw_from_pool rng 0.5 a.pool in
+    let sb, rest_b = draw_from_pool rng 0.5 b.pool in
+    let func =
+      match Util.Rng.int rng 6 with
+      | 0 | 1 | 2 -> xor2
+      | 3 -> product rng 2
+      | _ -> full_or rng 2
+    in
+    let s = Network.add_node net (next_name ()) ~fanins:[| sa; sb |] ~func in
+    Hashtbl.replace level s (1 + max (level_of sa) (level_of sb));
+    {
+      pool = s :: (rest_a @ rest_b);
+      members = s :: (a.members @ b.members);
+      max_level = 1 + max a.max_level b.max_level;
+    }
+  in
+  let rec merge_round regs =
+    match regs with
+    | [] | [ _ ] -> regs
+    | a :: b :: rest -> combine a b :: merge_round rest
+  in
+  let rec merge_all regs =
+    match regs with
+    | [] -> invalid_arg "Generator.generate: no regions"
+    | [ r ] -> r
+    | _ -> merge_all (merge_round regs)
+  in
+  let final = merge_all (Array.to_list regions) in
+  (* Phase 3: deliberate near-critical chains. Real timing-closed logic
+     has MANY sensitizable paths just under the critical path delay; the
+     random phases alone leave large false-path slack (their structural
+     critical paths thread through conditional gates whose sensitization
+     conditions conflict). Each chain starts at a deep signal of one
+     block and stacks XOR / MAJ / MUX steps — functions whose primes all
+     contain the on-path input, so the chain is late whenever its taps
+     allow — with taps drawn from the same block (narrow support keeps
+     the per-output SPCF BDDs small). Chain lengths are calibrated with
+     an intermediate timing analysis so the longest chain defines the
+     critical path delay and a controlled band of chains lands within
+     10 % of it. *)
+  let mapped0, signal_map = Mapper.map_with_signals net in
+  let sta0 = Sta.analyze ~model:Sta.Library mapped0 in
+  let arrival0 s = Sta.arrival sta0 signal_map.(s) in
+  let delta0 =
+    List.fold_left (fun acc s -> Float.max acc (arrival0 s)) 0.01 final.members
+  in
+  let delta_target = delta0 *. 1.18 in
+  let debug = Sys.getenv_opt "EMASK_GEN_DEBUG" <> None in
+  if debug then
+    Printf.eprintf "[gen %s] delta0=%.2f target=%.2f\n%!" p.name delta0 delta_target;
+  (* Scale the number of deliberate near-critical chains with both the
+     output count (the paper sees ~20% critical POs) and the circuit
+     size (small blocks must not be dominated by chain overhead). *)
+  let n_chains =
+    max 2 (min (min 32 ((p.n_po / 6) + 1)) ((p.n_nodes / 10) + 1))
+  in
+  let members_by_block =
+    (* Phase-3 taps must stay inside one block for narrow support; block
+       membership was fixed before merging. *)
+    Array.map (fun r -> Array.of_list r.members) regions
+  in
+  let chain_arrival = Hashtbl.create 64 in
+  let arrival_of s =
+    match Hashtbl.find_opt chain_arrival s with
+    | Some a -> a
+    | None -> arrival0 s
+  in
+  let chain_ends = ref [] in
+  for i = 0 to n_chains - 1 do
+    let block = members_by_block.(i mod nblocks) in
+    (* Aim this chain at a fraction of the final delay: the first few
+       chains sit within 10 % of it (critical), later ones fall below. *)
+    let goal =
+      delta_target *. (1. -. (0.25 *. float_of_int i /. float_of_int (max 1 (n_chains - 1))))
+    in
+    (* Start at a primary input: any structural depth at the chain's
+       start carries false-path slack (its floating arrival can be far
+       below its structural arrival), which would eat into the narrow
+       10 % criticality band and could leave the chain's SPCF empty. *)
+    let start =
+      let pis = List.filter (Network.is_input net) (Array.to_list block) in
+      match pis with
+      | [] -> block.(0)
+      | l -> Util.Rng.pick rng (Array.of_list l)
+    in
+    (* Taps likewise come from the shallow part of the block, so their
+       false-path slack cannot shorten the chain's floating delay. They
+       are additionally capped below ~half the target depth: a prediction
+       circuit must recompute tap values on SPCF patterns, so deep tap
+       cones would put a floor under the masking circuit's delay. *)
+    let tap_cap = 0.3 *. delta_target in
+    let candidates_below limit =
+      let limit = Float.min limit tap_cap in
+      Array.of_list (List.filter (fun s -> arrival_of s <= limit) (Array.to_list block))
+    in
+    let tap_below limit =
+      let candidates = candidates_below limit in
+      if Array.length candidates = 0 then block.(0)
+      else Util.Rng.pick rng candidates
+    in
+    (* Sensitization constraints must stay jointly satisfiable:
+       - MUX selects come from a pool of primary inputs (all-zero is
+         always consistent);
+       - MAJ steps all use one dedicated, disjoint pair of primary
+         inputs ("the pair disagrees" — consistent with itself and with
+         the select constraints because the pools are disjoint).
+       Mixing the roles lets constraints like "p = 0 ∧ p ≠ q ∧ q = 0"
+       arise, silently emptying the chain's SPCF. *)
+    let block_pis =
+      let l = List.filter (Network.is_input net) (Array.to_list block) in
+      let a = Array.of_list l in
+      Util.Rng.shuffle rng a;
+      a
+    in
+    let maj_pair, select_pool =
+      if Array.length block_pis >= 4 then
+        ( Some (block_pis.(0), block_pis.(1)),
+          Array.sub block_pis 2 (Array.length block_pis - 2) )
+      else (None, block_pis)
+    in
+    let pi_tap () =
+      if Array.length select_pool = 0 then block.(0)
+      else Util.Rng.pick rng select_pool
+    in
+    let grow_chain from_signal ~goal =
+      let prev = ref from_signal in
+      let steps = ref 0 in
+      let intermediates = ref [] in
+      while arrival_of !prev < goal && !steps < 400 do
+        incr steps;
+        let a_prev = arrival_of !prev in
+        (* MAJ steps impose "taps disagree" constraints; over a small tap
+           pool those form unsatisfiable anti-equality cycles that kill
+           the chain's sensitizability. Stick to XOR (constraint-free)
+           until the pool is diverse, and prefer MUX (whose "select = 0"
+           constraints never conflict) over MAJ. *)
+        let pool_diverse = Array.length (candidates_below a_prev) >= 8 in
+        let kind = if pool_diverse then Util.Rng.int rng 10 else 0 in
+        let xor_step () = ([| !prev; tap_below a_prev |], xor2, 0.35) in
+        (* MUX-heavy mix: each MUX step halves the sensitized fraction
+           (its "select = 0" conditions never conflict), keeping the SPCF
+           a sparse subset of the input space — the regime the paper's
+           benchmarks live in, and the source of the don't-care space
+           that lets the masking circuit simplify. *)
+        let fanins, func, step_cost =
+          if kind < 3 then xor_step ()
+          else if kind < 9 then begin
+            (* MUX with the chain on a data input and a primary-input
+               select. *)
+            let data = tap_below a_prev and select = pi_tap () in
+            if data = select then xor_step ()
+            else ([| !prev; data; select |], mux3, 0.40)
+          end
+          else begin
+            match maj_pair with
+            | Some (t1, t2) -> ([| !prev; t1; t2 |], majority3, 0.63)
+            | None -> xor_step ()
+          end
+        in
+        let s = Network.add_node net (next_name ()) ~fanins ~func in
+        Hashtbl.replace chain_arrival s (a_prev +. step_cost);
+        intermediates := s :: !intermediates;
+        prev := s
+      done;
+      (!prev, !intermediates)
+    in
+    if debug then
+      Printf.eprintf "[gen %s] chain %d goal=%.2f start=%s arr=%.2f\n%!" p.name i
+        goal (Network.name_of net start) (arrival_of start);
+    let chain_end, intermediates = grow_chain start ~goal in
+    chain_ends := chain_end :: !chain_ends;
+    (* Fork: continue from a mid-chain signal to a second, slightly
+       shorter near-critical output. The shared prefix gates then have
+       fanout 2 with different downstream tails — the structural source
+       of the node-based SPCF over-approximation (a gate critical along
+       one branch is treated as critical along both). *)
+    if Util.Rng.float rng < 0.7 && intermediates <> [] then begin
+      let mid =
+        List.nth intermediates (Util.Rng.int rng (List.length intermediates))
+      in
+      let fork_goal = goal *. (0.88 +. (0.1 *. Util.Rng.float rng)) in
+      if arrival_of mid < fork_goal then begin
+        let fork_end, _ = grow_chain mid ~goal:fork_goal in
+        if fork_end <> mid then chain_ends := fork_end :: !chain_ends
+      end
+    end
+  done;
+  (* Outputs: the chain ends (deepest first), then the open signals, then
+     wires of random signals if more outputs are required. *)
+  let outputs = ref (List.rev !chain_ends @ final.pool) in
+  let members = Array.of_list final.members in
+  let wire_count = ref 0 in
+  while List.length !outputs < p.n_po do
+    let src = Util.Rng.pick rng members in
+    let func = Logic2.Cover.of_cubes 1 [ Logic2.Cube.make 1 [ (0, true) ] ] in
+    let s =
+      Network.add_node net (Printf.sprintf "w%d" !wire_count) ~fanins:[| src |] ~func
+    in
+    incr wire_count;
+    outputs := !outputs @ [ s ]
+  done;
+  List.iteri
+    (fun i s -> Network.mark_output net ~name:(Printf.sprintf "po%d" i) s)
+    (List.filteri (fun i _ -> i < p.n_po) !outputs);
+  net

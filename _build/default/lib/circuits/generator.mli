@@ -1,0 +1,26 @@
+(** Seeded synthetic multi-level control-logic generator (the benchmark
+    substitute — see DESIGN.md §2). *)
+
+type params = {
+  name : string;
+  n_pi : int;
+  n_po : int;
+  n_nodes : int;
+  seed : int;
+  p_chain : float;
+      (** probability a fanin is drawn from the newest open signals;
+          higher values stretch path depth *)
+  p_reuse : float;
+      (** probability of an extra reused fanin: controls fanout > 1 and
+          reconvergence *)
+  max_support : int;
+      (** primary-input support width beyond which node functions are
+          restricted to AND-like / OR-like shapes, keeping signal BDDs
+          tractable (see DESIGN.md) *)
+}
+
+val default_params : params
+
+val generate : params -> Network.t
+(** Deterministic in [params.seed]. Outputs number exactly [n_po]; all
+    generated logic is reachable from the outputs. *)

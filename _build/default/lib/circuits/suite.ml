@@ -1,0 +1,70 @@
+(* The named benchmark suite of the paper's Tables 1 and 2. Each entry is
+   a synthetic stand-in with the paper's primary-input/-output counts and
+   a node budget sized so the mapped gate count lands near the paper's
+   (see DESIGN.md for the substitution rationale). Every circuit is
+   deterministic in its per-circuit seed. *)
+
+type entry = {
+  ename : string;
+  params : Generator.params;
+  paper_gates : int; (* as reported in the paper's Table 2 *)
+  table1 : bool; (* appears in Table 1 *)
+}
+
+let mk ?(table1 = false) ename n_pi n_po paper_gates ~nodes ~seed ~p_chain ~p_reuse =
+  {
+    ename;
+    paper_gates;
+    table1;
+    params =
+      {
+        Generator.name = ename;
+        n_pi;
+        n_po;
+        n_nodes = nodes;
+        seed;
+        p_chain;
+        p_reuse;
+        max_support = 14;
+      };
+  }
+
+(* Node budgets are roughly paper_gates / 2.5 (SOP nodes expand to a few
+   gates each when mapped); p_chain shapes depth, p_reuse fanout. *)
+let all : entry list =
+  [
+    mk "i1" 25 16 33 ~nodes:14 ~seed:101 ~p_chain:0.30 ~p_reuse:0.15;
+    mk "cmb" 16 4 13 ~nodes:6 ~seed:102 ~p_chain:0.30 ~p_reuse:0.15;
+    mk "x2" 10 7 26 ~nodes:11 ~seed:103 ~p_chain:0.30 ~p_reuse:0.2;
+    mk "cu" 14 11 26 ~nodes:11 ~seed:104 ~p_chain:0.25 ~p_reuse:0.2;
+    mk "too_large" 38 3 230 ~nodes:90 ~seed:105 ~p_chain:0.40 ~p_reuse:0.2;
+    mk "k2" 45 45 649 ~nodes:180 ~seed:106 ~p_chain:0.35 ~p_reuse:0.2;
+    mk "alu2" 10 6 190 ~nodes:76 ~seed:107 ~p_chain:0.35 ~p_reuse:0.25;
+    mk "alu4" 14 8 355 ~nodes:110 ~seed:108 ~p_chain:0.35 ~p_reuse:0.25;
+    mk "apex4" 9 19 973 ~nodes:150 ~seed:109 ~p_chain:0.30 ~p_reuse:0.25;
+    mk "apex6" 135 99 392 ~nodes:160 ~seed:110 ~p_chain:0.30 ~p_reuse:0.15;
+    mk "frg1" 28 3 56 ~nodes:22 ~seed:111 ~p_chain:0.40 ~p_reuse:0.2;
+    mk "C432" 36 7 95 ~nodes:38 ~seed:112 ~p_chain:0.40 ~p_reuse:0.2 ~table1:true;
+    mk "C880" 60 26 180 ~nodes:72 ~seed:113 ~p_chain:0.35 ~p_reuse:0.2;
+    mk "C2670" 233 140 369 ~nodes:150 ~seed:114 ~p_chain:0.30 ~p_reuse:0.15 ~table1:true;
+    mk "sparc_ifu_dec" 131 146 556 ~nodes:230 ~seed:115 ~p_chain:0.30 ~p_reuse:0.15
+      ~table1:true;
+    mk "sparc_ifu_invctl" 212 72 312 ~nodes:125 ~seed:116 ~p_chain:0.30 ~p_reuse:0.15
+      ~table1:true;
+    mk "sparc_ifu_ifqdp" 882 987 1974 ~nodes:800 ~seed:117 ~p_chain:0.25 ~p_reuse:0.1;
+    mk "sparc_ifu_dcl" 136 94 315 ~nodes:125 ~seed:118 ~p_chain:0.30 ~p_reuse:0.15;
+    mk "lsu_stb_ctl" 182 169 810 ~nodes:330 ~seed:119 ~p_chain:0.25 ~p_reuse:0.12
+      ~table1:true;
+    mk "sparc_exu_ecl" 572 634 1515 ~nodes:620 ~seed:120 ~p_chain:0.25 ~p_reuse:0.1;
+  ]
+
+let table1_entries = List.filter (fun e -> e.table1) all
+
+let find name =
+  match List.find_opt (fun e -> e.ename = name) all with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Suite.find: unknown benchmark %S" name)
+
+let network e = Generator.generate e.params
+let load name = network (find name)
+let names = List.map (fun e -> e.ename) all

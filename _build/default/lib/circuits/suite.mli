@@ -1,0 +1,16 @@
+(** The named benchmarks of the paper's Tables 1–2 (synthetic stand-ins
+    with the paper's I/O counts; see DESIGN.md). *)
+
+type entry = {
+  ename : string;
+  params : Generator.params;
+  paper_gates : int;
+  table1 : bool;
+}
+
+val all : entry list
+val table1_entries : entry list
+val find : string -> entry
+val network : entry -> Network.t
+val load : string -> Network.t
+val names : string list

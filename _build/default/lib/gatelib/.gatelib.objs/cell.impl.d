@@ -1,0 +1,1 @@
+lib/gatelib/cell.ml: Array Char Hashtbl List Logic2 Printf

@@ -1,0 +1,1 @@
+lib/gatelib/cell.mli: Logic2

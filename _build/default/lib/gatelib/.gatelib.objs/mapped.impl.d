@@ -1,0 +1,1 @@
+lib/gatelib/mapped.ml: Array Cell Format Network Printf

@@ -1,0 +1,1 @@
+lib/gatelib/mapped.mli: Cell Format Network

@@ -1,0 +1,1 @@
+lib/gatelib/mapper.ml: Array Cell Hashtbl Lazy List Logic2 Mapped Network

@@ -1,0 +1,1 @@
+lib/gatelib/mapper.mli: Mapped Network

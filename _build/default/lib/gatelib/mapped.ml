@@ -1,0 +1,109 @@
+(* A technology-mapped (gate-level) circuit: a Boolean network in which
+   every internal node is an instance of a library cell. *)
+
+type t = {
+  net : Network.t;
+  mutable cells : Cell.t option array;
+  mutable gensym : int;
+}
+
+let create () = { net = Network.create (); cells = Array.make 64 None; gensym = 0 }
+
+let network t = t.net
+
+let ensure_capacity t =
+  let n = Network.num_signals t.net in
+  if n > Array.length t.cells then begin
+    let cap = max (n * 2) (Array.length t.cells * 2) in
+    t.cells <- Array.init cap (fun i -> if i < Array.length t.cells then t.cells.(i) else None)
+  end
+
+let add_input t name =
+  let s = Network.add_input t.net name in
+  ensure_capacity t;
+  s
+
+let fresh_name t prefix =
+  let rec next () =
+    let name = Printf.sprintf "%s%d" prefix t.gensym in
+    t.gensym <- t.gensym + 1;
+    if Network.find t.net name = None then name else next ()
+  in
+  next ()
+
+let add_gate t ?name cell fanins =
+  if Array.length fanins <> cell.Cell.arity then
+    invalid_arg "Mapped.add_gate: fanin count must match cell arity";
+  let name = match name with Some n -> n | None -> fresh_name t ("g_" ^ cell.Cell.cname ^ "_") in
+  let s = Network.add_node t.net name ~fanins ~func:cell.Cell.logic in
+  ensure_capacity t;
+  t.cells.(s) <- Some cell;
+  s
+
+let mark_output t ?name s = Network.mark_output t.net ?name s
+
+let cell_of t s = if s < Array.length t.cells then t.cells.(s) else None
+
+let gate_count t =
+  let c = ref 0 in
+  for s = 0 to Network.num_signals t.net - 1 do
+    if cell_of t s <> None then incr c
+  done;
+  !c
+
+let area t =
+  let a = ref 0. in
+  for s = 0 to Network.num_signals t.net - 1 do
+    match cell_of t s with Some c -> a := !a +. c.Cell.area | None -> ()
+  done;
+  !a
+
+(* Capacitive load on each signal: the input capacitance of every fanout
+   pin, plus a default load on primary outputs. *)
+let output_load = 2.0
+
+let loads t =
+  let n = Network.num_signals t.net in
+  let load = Array.make n 0. in
+  for s = 0 to n - 1 do
+    match Network.node_of t.net s with
+    | None -> ()
+    | Some nd ->
+      let cap = match cell_of t s with Some c -> c.Cell.input_cap | None -> 1.0 in
+      Array.iter (fun f -> load.(f) <- load.(f) +. cap) nd.Network.fanins
+  done;
+  Array.iter (fun (_, s) -> load.(s) <- load.(s) +. output_load) (Network.outputs t.net);
+  load
+
+(* Copy all gates of [src] into [dst]. Primary inputs are matched by name
+   and must already exist in [dst]; internal signals are renamed with
+   [prefix]. Returns the signal map from src to dst. *)
+let append dst ~prefix src =
+  let n = Network.num_signals (network src) in
+  let map = Array.make n (-1) in
+  Array.iter
+    (fun s ->
+      let name = Network.name_of (network src) s in
+      match Network.find dst.net name with
+      | Some d -> map.(s) <- d
+      | None ->
+        invalid_arg (Printf.sprintf "Mapped.append: input %S missing in target" name))
+    (Network.inputs (network src));
+  Array.iter
+    (fun s ->
+      match Network.node_of (network src) s with
+      | None -> ()
+      | Some nd ->
+        let cell =
+          match cell_of src s with
+          | Some c -> c
+          | None -> invalid_arg "Mapped.append: source gate without a cell"
+        in
+        let name = prefix ^ Network.name_of (network src) s in
+        let fanins = Array.map (fun f -> map.(f)) nd.Network.fanins in
+        map.(s) <- add_gate dst ~name cell fanins)
+    (Network.topo_order (network src));
+  map
+
+let pp fmt t =
+  Format.fprintf fmt "mapped: %d gates, area %.1f" (gate_count t) (area t)

@@ -1,0 +1,14 @@
+(** Technology mapping of Boolean networks into library gates. *)
+
+type style =
+  | Balanced  (** balanced AND/OR trees: logarithmic mapped depth *)
+  | Chain  (** left-associative 2-input chains (ablation baseline) *)
+
+val map : ?style:style -> Network.t -> Mapped.t
+(** Functionally equivalent gate-level realization of the network.
+    Node functions that exactly match a library cell map to one gate;
+    general SOPs become inverter + AND-tree + OR-tree structures. *)
+
+val map_with_signals : ?style:style -> Network.t -> Mapped.t * int array
+(** Like [map], also returning the network→mapped signal map (the mapped
+    signal realizing each network signal). *)

@@ -1,0 +1,1 @@
+lib/logic2/bits.ml: Array Format List Sys

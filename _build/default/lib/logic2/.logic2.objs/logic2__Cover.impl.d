@@ -1,0 +1,1 @@
+lib/logic2/cover.ml: Array Bits Cube Format List Option

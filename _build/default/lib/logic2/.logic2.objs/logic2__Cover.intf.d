@@ -1,0 +1,1 @@
+lib/logic2/cover.mli: Bits Cube Format

@@ -1,0 +1,1 @@
+lib/logic2/primes.ml: Cover Cube Hashtbl List Set Truth

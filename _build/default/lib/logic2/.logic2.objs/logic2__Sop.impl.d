@@ -1,0 +1,1 @@
+lib/logic2/sop.ml: Array Buffer Cover Cube List Printf String

@@ -1,0 +1,1 @@
+lib/logic2/truth.ml: Array Bytes Cover Cube List

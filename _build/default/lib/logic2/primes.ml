@@ -1,0 +1,87 @@
+(* Prime implicant generation. Two engines:
+   - iterated consensus with absorption, working directly on covers
+     (complete by the consensus theorem; practical for node-level SOPs);
+   - Quine-McCluskey on truth tables for small, dense functions. *)
+
+(* Iterated consensus: repeatedly add consensus cubes that are not
+   absorbed by an existing cube, pruning absorbed cubes, until fixpoint.
+   The resulting cover is exactly the set of all prime implicants. *)
+let of_cover cover =
+  let absorb cubes =
+    Cover.cubes (Cover.single_cube_containment (Cover.of_cubes (Cover.num_vars cover) cubes))
+  in
+  let rec fixpoint cubes =
+    let additions = ref [] in
+    let consider c =
+      let absorbed =
+        List.exists (fun d -> Cube.covers d c) cubes
+        || List.exists (fun d -> Cube.covers d c) !additions
+      in
+      if not absorbed then additions := c :: !additions
+    in
+    let rec pairs = function
+      | [] -> ()
+      | a :: rest ->
+        List.iter
+          (fun b -> match Cube.consensus a b with Some c -> consider c | None -> ())
+          rest;
+        pairs rest
+    in
+    pairs cubes;
+    if !additions = [] then cubes
+    else fixpoint (absorb (!additions @ cubes))
+  in
+  Cover.of_cubes (Cover.num_vars cover) (fixpoint (absorb (Cover.cubes cover)))
+
+(* Quine-McCluskey on a truth table. Cubes are (value, mask) pairs: [mask]
+   bits are don't-cares, [value] holds the fixed bits (0 within mask). *)
+let quine_mccluskey truth =
+  let n = Truth.num_vars truth in
+  let module IS = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let level0 = List.map (fun m -> (m, 0)) (Truth.minterms truth) in
+  let rec rounds current primes =
+    if current = [] then primes
+    else begin
+      let current_set = IS.of_list current in
+      let merged = Hashtbl.create 64 in
+      let next = ref IS.empty in
+      let try_merge (v, m) =
+        for b = 0 to n - 1 do
+          let bit = 1 lsl b in
+          if m land bit = 0 && v land bit = 0 then begin
+            let partner = (v lor bit, m) in
+            if IS.mem partner current_set then begin
+              Hashtbl.replace merged (v, m) ();
+              Hashtbl.replace merged partner ();
+              next := IS.add (v, m lor bit) !next
+            end
+          end
+        done
+      in
+      List.iter try_merge current;
+      let unmerged =
+        List.filter (fun c -> not (Hashtbl.mem merged c)) current
+      in
+      rounds (IS.elements !next) (unmerged @ primes)
+    end
+  in
+  let prime_pairs = rounds level0 [] in
+  let cube_of (v, m) =
+    let lits = ref [] in
+    for b = 0 to n - 1 do
+      if m land (1 lsl b) = 0 then lits := (b, v land (1 lsl b) <> 0) :: !lits
+    done;
+    Cube.make n !lits
+  in
+  Cover.of_cubes n (List.map cube_of prime_pairs)
+
+(* All primes of the on-set and the off-set of a function given as an
+   on-set cover — the set P of Eqn. 1 in the paper. *)
+let onset_and_offset_primes cover =
+  let on = of_cover cover in
+  let off = of_cover (Cover.complement cover) in
+  (on, off)

@@ -1,0 +1,11 @@
+(** Prime implicant generation. *)
+
+val of_cover : Cover.t -> Cover.t
+(** All prime implicants of the function denoted by the cover, by
+    iterated consensus with absorption. *)
+
+val quine_mccluskey : Truth.t -> Cover.t
+(** All prime implicants of a small function given as a truth table. *)
+
+val onset_and_offset_primes : Cover.t -> Cover.t * Cover.t
+(** [(on_primes, off_primes)] — the set [P] of the paper's Eqn. 1. *)

@@ -1,0 +1,63 @@
+(* Small SOP expression parser used by tests, examples and the BLIF
+   reader. Grammar: terms separated by '+', literals within a term
+   separated by '*' (or whitespace); '!x' negates. *)
+
+let split_on_chars seps s =
+  let buf = Buffer.create 8 and out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if List.mem c seps then flush () else Buffer.add_char buf c) s;
+  flush ();
+  List.rev !out
+
+let parse ~vars s =
+  let n = Array.length vars in
+  let index name =
+    let rec find i =
+      if i >= n then failwith (Printf.sprintf "Sop.parse: unknown variable %S" name)
+      else if vars.(i) = name then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let parse_literal tok =
+    let tok = String.trim tok in
+    if tok = "" then failwith "Sop.parse: empty literal"
+    else if tok.[0] = '!' then (index (String.sub tok 1 (String.length tok - 1)), false)
+    else (index tok, true)
+  in
+  let parse_term term =
+    let term = String.trim term in
+    if term = "1" then Cube.universe n
+    else
+      let lits = split_on_chars [ '*'; ' '; '\t' ] term in
+      Cube.make n (List.map parse_literal lits)
+  in
+  let terms = split_on_chars [ '+' ] s in
+  let terms = List.filter (fun t -> String.trim t <> "" && String.trim t <> "0") terms in
+  Cover.of_cubes n (List.map parse_term terms)
+
+(* A BLIF cover row like "01-" over [n] inputs. *)
+let cube_of_blif_row n row =
+  if String.length row <> n then invalid_arg "Sop.cube_of_blif_row: bad width";
+  let lits = ref [] in
+  String.iteri
+    (fun v c ->
+      match c with
+      | '1' -> lits := (v, true) :: !lits
+      | '0' -> lits := (v, false) :: !lits
+      | '-' -> ()
+      | _ -> invalid_arg "Sop.cube_of_blif_row: bad character")
+    row;
+  Cube.make n !lits
+
+let blif_row_of_cube c =
+  String.init (Cube.num_vars c) (fun v ->
+      match Cube.polarity c v with
+      | Cube.Pos -> '1'
+      | Cube.Neg -> '0'
+      | Cube.Absent -> '-')

@@ -1,0 +1,10 @@
+(** SOP expression parsing for tests, examples and BLIF I/O. *)
+
+val parse : vars:string array -> string -> Cover.t
+(** [parse ~vars "a*!b + c"] — terms split on ['+'], literals on ['*'] or
+    whitespace, ['!'] negates, ["1"]/["0"] are the constants. *)
+
+val cube_of_blif_row : int -> string -> Cube.t
+(** Decode a BLIF input-plane row such as ["01-"]. *)
+
+val blif_row_of_cube : Cube.t -> string

@@ -1,0 +1,1 @@
+lib/masking/dvs.ml: Array Format List Mapped Network Sta Synthesis Tsim Util

@@ -1,0 +1,1 @@
+lib/masking/dvs.mli: Format Synthesis

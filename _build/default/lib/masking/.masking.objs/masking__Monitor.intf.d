@@ -1,0 +1,1 @@
+lib/masking/monitor.mli: Format Synthesis

@@ -1,0 +1,1 @@
+lib/masking/razor.ml: Array Format Hashtbl List Mapped Network Sta Synthesis Tsim Util

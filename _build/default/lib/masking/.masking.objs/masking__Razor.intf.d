@@ -1,0 +1,1 @@
+lib/masking/razor.mli: Format Synthesis

@@ -1,0 +1,1 @@
+lib/masking/synthesis.ml: Array Bdd Cell Hashtbl Isop Lazy List Logic2 Mapped Mapper Netopt Network Spcf Sta

@@ -1,0 +1,1 @@
+lib/masking/synthesis.mli: Bdd Logic2 Mapped Mapper Network Spcf Sta

@@ -1,0 +1,1 @@
+lib/masking/telescopic.ml: Array Bdd Extfloat Format List Mapped Network Spcf Synthesis Util

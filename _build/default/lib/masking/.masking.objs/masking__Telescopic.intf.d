@@ -1,0 +1,1 @@
+lib/masking/telescopic.mli: Format Synthesis

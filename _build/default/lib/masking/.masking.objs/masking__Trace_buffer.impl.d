@@ -1,0 +1,1 @@
+lib/masking/trace_buffer.ml: Array Bitsim Format List Mapped Network Synthesis Util

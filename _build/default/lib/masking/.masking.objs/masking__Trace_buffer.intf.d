@@ -1,0 +1,1 @@
+lib/masking/trace_buffer.mli: Format Synthesis

@@ -1,0 +1,1 @@
+lib/masking/verify.ml: Array Bdd Extfloat Format List Mapped Network Power Spcf Sta String Synthesis

@@ -1,0 +1,1 @@
+lib/masking/verify.mli: Extfloat Format Synthesis

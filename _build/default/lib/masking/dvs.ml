@@ -1,0 +1,65 @@
+(* Aggressive dynamic voltage scaling by masking timing errors — the
+   paper's future-work item (ii), Sec. 6.
+
+   Lowering the supply slows every gate (delay ∝ 1/v in the normalized
+   alpha-power model used here) and saves dynamic energy (∝ v²). An
+   unprotected circuit must keep its critical path inside the clock, so
+   it cannot scale below v = 1. With the error-masking circuit in place,
+   only the sub-target paths must meet the clock: the speed-paths within
+   the 10 % band may fail and be masked, buying ~θ of voltage headroom
+   (θ = 0.9 gives up to ~19 % dynamic-energy saving) with zero escaped
+   errors. Below that, errors appear on unprotected paths — the sweep
+   exposes the cliff. *)
+
+type sample = {
+  voltage : float; (* normalized supply *)
+  energy : float; (* normalized dynamic energy, v² *)
+  raw_error_rate : float; (* errors at the unprotected outputs *)
+  masked_error_rate : float; (* errors escaping the masked outputs *)
+}
+
+let delay_factor v = 1. /. v
+let energy_of v = v *. v
+
+let sweep ?(trials = 300) ?(seed = 53)
+    ?(voltages = [ 1.0; 0.95; 0.9; 0.87; 0.84; 0.8; 0.76; 0.72 ]) (m : Synthesis.t) =
+  let model = m.Synthesis.options.Synthesis.delay_model in
+  let combined = m.Synthesis.combined in
+  let cnet = Mapped.network combined in
+  let base = Sta.gate_delays model combined in
+  let clock = Sta.delta (Sta.analyze ~model combined) in
+  let n_in = Array.length (Network.inputs cnet) in
+  let run voltage =
+    let rng = Util.Rng.create seed in
+    let f = delay_factor voltage in
+    let delays = Array.map (fun d -> d *. f) base in
+    let raw = ref 0 and masked = ref 0 in
+    for _ = 1 to trials do
+      let from_ = Array.init n_in (fun _ -> Util.Rng.bool rng) in
+      let to_ = Array.init n_in (fun _ -> Util.Rng.bool rng) in
+      let r = Tsim.simulate combined ~delays ~from_ ~to_ ~clock in
+      let cap s = r.Tsim.at_clock.(s) and fin s = r.Tsim.final.(s) in
+      let any_raw = ref false and any_masked = ref false in
+      List.iter
+        (fun (po : Synthesis.per_output) ->
+          if cap po.Synthesis.y_combined <> fin po.Synthesis.y_combined then
+            any_raw := true;
+          if cap po.Synthesis.masked_combined <> fin po.Synthesis.masked_combined
+          then any_masked := true)
+        m.Synthesis.per_output;
+      if !any_raw then incr raw;
+      if !any_masked then incr masked
+    done;
+    {
+      voltage;
+      energy = energy_of voltage;
+      raw_error_rate = float_of_int !raw /. float_of_int trials;
+      masked_error_rate = float_of_int !masked /. float_of_int trials;
+    }
+  in
+  List.map run voltages
+
+let pp fmt s =
+  Format.fprintf fmt
+    "v=%.2f energy=%.3f raw-errors=%.3f masked-output-errors=%.3f" s.voltage
+    s.energy s.raw_error_rate s.masked_error_rate

@@ -1,0 +1,19 @@
+(** Aggressive dynamic voltage scaling under error masking (the paper's
+    future-work item (ii)): sweep the normalized supply, slowing gates
+    as 1/v and saving energy as v², and measure raw vs masked error
+    rates at the nominal clock. *)
+
+type sample = {
+  voltage : float;
+  energy : float;
+  raw_error_rate : float;
+  masked_error_rate : float;
+}
+
+val delay_factor : float -> float
+val energy_of : float -> float
+
+val sweep :
+  ?trials:int -> ?seed:int -> ?voltages:float list -> Synthesis.t -> sample list
+
+val pp : Format.formatter -> sample -> unit

@@ -1,0 +1,16 @@
+(** Wearout prediction (paper Sec. 2.1): sweep an aging factor over the
+    original circuit's near-critical gates and measure raw, masked and
+    logged timing-error rates with the event-driven timing simulator. *)
+
+type sample = {
+  factor : float;  (** delay degradation on the aged gates *)
+  raw_error_rate : float;  (** capture errors at unprotected outputs *)
+  masked_error_rate : float;  (** capture errors surviving the mux *)
+  logged_rate : float;  (** e·(y ⊕ ỹ) events — the wearout signal *)
+  indicator_rate : float;
+}
+
+val aging_sweep :
+  ?trials:int -> ?seed:int -> ?factors:float list -> Synthesis.t -> sample list
+
+val pp_sample : Format.formatter -> sample -> unit

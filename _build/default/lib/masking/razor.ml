@@ -1,0 +1,159 @@
+(* Razor-style timing-error DETECTION baseline (Ernst et al. [8], the
+   alternative the paper positions itself against, Sec. 2).
+
+   Each critical output gets a shadow sample taken a guard band after
+   the clock edge; a mismatch between the main and shadow samples flags
+   a timing error, which is then repaired by flushing and replaying —
+   a throughput penalty the masking approach avoids entirely. Detection
+   also has a blind spot the paper points out: transitions later than
+   the guard band leave both samples equally stale, so the error escapes.
+
+   The model: per critical output, a shadow flip-flop, a comparator and
+   recovery control (area per output below); on detection, [replay]
+   cycles are lost. Compared against masking on the same aged circuit. *)
+
+type scheme = {
+  escaped_rate : float; (* undetected/unmasked wrong captures per cycle *)
+  repair_rate : float; (* detections (razor) — each costs a replay *)
+  throughput : float; (* useful cycles per cycle *)
+  area_overhead_pct : float;
+}
+
+type comparison = {
+  factor : float;
+  raw_error_rate : float;
+  razor : scheme;
+  masking : scheme;
+}
+
+(* Shadow flip-flop + XOR comparator + restore mux and control, in the
+   same equivalent-gate units as the cell library. *)
+let razor_cell_area = 12.0
+
+let compare_schemes ?(trials = 400) ?(seed = 31) ?(guard_band_pct = 0.12)
+    ?(replay = 3.) ?(factors = [ 1.0; 1.05; 1.1; 1.2; 1.3 ]) (m : Synthesis.t) =
+  let model = m.Synthesis.options.Synthesis.delay_model in
+  (* Razor protects the bare circuit C; masking uses the combined one.
+     Both run at their own nominal clock. *)
+  let original = m.Synthesis.original in
+  let onet = Mapped.network original in
+  let combined = m.Synthesis.combined in
+  let clock_orig = Sta.delta (Sta.analyze ~model original) in
+  let clock_comb = Sta.delta (Sta.analyze ~model combined) in
+  let guard = guard_band_pct *. clock_orig in
+  let base_orig = Sta.gate_delays model original in
+  let base_comb = Sta.gate_delays model combined in
+  let crit_orig =
+    Sta.critical_signals (Sta.analyze ~model original) ~target:(0.9 *. clock_orig)
+  in
+  let crit_comb =
+    let sta = Sta.analyze ~model combined in
+    let keep = Sta.critical_signals sta ~target:(0.9 *. clock_comb) in
+    (* Only the original circuit's copy ages (as in Monitor). *)
+    let names = Hashtbl.create 256 in
+    Array.iter
+      (fun s ->
+        if Network.node_of onet s <> None then
+          Hashtbl.replace names (Network.name_of onet s) ())
+      (Network.topo_order onet);
+    fun s -> keep.(s) && Hashtbl.mem names (Network.name_of (Mapped.network combined) s)
+  in
+  let critical_pos =
+    List.map
+      (fun (po : Synthesis.per_output) ->
+        match
+          Array.find_opt (fun (n, _) -> n = po.Synthesis.name) (Network.outputs onet)
+        with
+        | Some (_, s) -> (po, s)
+        | None -> invalid_arg "Razor.compare_schemes: output mismatch")
+      m.Synthesis.per_output
+  in
+  let n_crit = List.length critical_pos in
+  let razor_area_pct =
+    100. *. (float_of_int n_crit *. razor_cell_area) /. Mapped.area original
+  in
+  let masking_area_pct =
+    100.
+    *. (Mapped.area combined -. Mapped.area original)
+    /. Mapped.area original
+  in
+  let n_in = Array.length (Network.inputs onet) in
+  let run factor =
+    let rng = Util.Rng.create seed in
+    let delays_orig =
+      Tsim.degraded_delays base_orig ~factor ~on:(fun s -> crit_orig.(s))
+    in
+    let delays_comb = Tsim.degraded_delays base_comb ~factor ~on:crit_comb in
+    let raw = ref 0 and escaped_razor = ref 0 and detected = ref 0 in
+    let escaped_mask = ref 0 in
+    for _ = 1 to trials do
+      let from_ = Array.init n_in (fun _ -> Util.Rng.bool rng) in
+      let to_ = Array.init n_in (fun _ -> Util.Rng.bool rng) in
+      (* Razor on the bare circuit: main sample at the clock, shadow a
+         guard band later. *)
+      let r_main =
+        Tsim.simulate original ~delays:delays_orig ~from_ ~to_ ~clock:clock_orig
+      in
+      let r_shadow =
+        Tsim.simulate original ~delays:delays_orig ~from_ ~to_
+          ~clock:(clock_orig +. guard)
+      in
+      let any_raw = ref false and any_detect = ref false and any_escape = ref false in
+      List.iter
+        (fun ((_ : Synthesis.per_output), s) ->
+          let main = r_main.Tsim.at_clock.(s) in
+          let shadow = r_shadow.Tsim.at_clock.(s) in
+          let correct = r_main.Tsim.final.(s) in
+          if main <> correct then begin
+            any_raw := true;
+            if main <> shadow then any_detect := true else any_escape := true
+          end
+          else if main <> shadow then
+            (* Shadow disagrees although the main capture was right: a
+               detection is still raised and a replay still paid. *)
+            any_detect := true)
+        critical_pos;
+      if !any_raw then incr raw;
+      if !any_detect then incr detected;
+      if !any_escape then incr escaped_razor;
+      (* Masking on the combined circuit at its own clock. *)
+      let r_mask =
+        Tsim.simulate combined ~delays:delays_comb ~from_ ~to_ ~clock:clock_comb
+      in
+      let mask_err =
+        List.exists
+          (fun (po : Synthesis.per_output) ->
+            r_mask.Tsim.at_clock.(po.Synthesis.masked_combined)
+            <> r_mask.Tsim.final.(po.Synthesis.masked_combined))
+          m.Synthesis.per_output
+      in
+      if mask_err then incr escaped_mask
+    done;
+    let rate c = float_of_int c /. float_of_int trials in
+    {
+      factor;
+      raw_error_rate = rate !raw;
+      razor =
+        {
+          escaped_rate = rate !escaped_razor;
+          repair_rate = rate !detected;
+          throughput = 1. /. (1. +. (rate !detected *. replay));
+          area_overhead_pct = razor_area_pct;
+        };
+      masking =
+        {
+          escaped_rate = rate !escaped_mask;
+          repair_rate = 0.;
+          throughput = 1.;
+          area_overhead_pct = masking_area_pct;
+        };
+    }
+  in
+  List.map run factors
+
+let pp fmt c =
+  Format.fprintf fmt
+    "aging x%.2f raw=%.3f | razor: escaped=%.3f repairs=%.3f throughput=%.3f area+%.1f%% | masking: escaped=%.3f throughput=%.3f area+%.1f%%"
+    c.factor c.raw_error_rate c.razor.escaped_rate c.razor.repair_rate
+    c.razor.throughput c.razor.area_overhead_pct c.masking.escaped_rate
+    c.masking.throughput c.masking.area_overhead_pct

@@ -1,0 +1,69 @@
+(** Synthesis of the error-masking circuit (paper Sec. 4): SPCF-driven
+    simplification of the technology-independent network, indicator
+    construction, network optimization, mapping, and mux insertion. *)
+
+type indicator =
+  | Structural
+      (** e_y = AND of per-node indicators e_{n_j} = n⁰ ⊕ n¹ (Eqn. 2) *)
+  | Direct
+      (** e_y synthesized from the BDD interval Σ_y ⊆ e ⊆ (ỹ = y) *)
+
+type algorithm = Short_path | Path_based | Node_based
+
+type cube_order = Ascending | Descending | Unsorted
+
+type options = {
+  theta : float;  (** target arrival factor; the paper uses 0.9 *)
+  algorithm : algorithm;  (** SPCF computation engine *)
+  indicator : indicator;
+  cube_order : cube_order;  (** essential-weight scan order (ablation) *)
+  simplify_e : bool;  (** the paper's final e cube elimination *)
+  optimize : bool;  (** run Netopt on T̃ before mapping *)
+  collapse : bool;  (** allow affine chain collapsing *)
+  map_style : Mapper.style;
+  log_errors : bool;  (** add e·(y⊕ỹ) outputs for wearout logging *)
+  delay_model : Sta.delay_model;
+}
+
+val default_options : options
+
+type per_output = {
+  name : string;
+  sigma : Bdd.t;  (** the SPCF Σ_y, over the context's manager *)
+  y_combined : Network.signal;  (** unprotected output inside [combined] *)
+  ytilde_combined : Network.signal;
+  e_combined : Network.signal;
+  masked_combined : Network.signal;  (** the MUX21 output *)
+  err_combined : Network.signal option;  (** e·(y⊕ỹ) when logging *)
+}
+
+type t = {
+  source : Network.t;
+  original : Mapped.t;  (** C *)
+  ctx : Spcf.Ctx.t;
+  spcf : Spcf.Ctx.result;
+  masking_net : Network.t;  (** T̃ after optimization *)
+  masking : Mapped.t;  (** C̃, standalone: inputs = PIs, outputs ỹ_i / e_i *)
+  combined : Mapped.t;  (** C + C̃ + output muxes; original output names *)
+  per_output : per_output list;
+  options : options;
+  target : float;
+  delta : float;
+}
+
+val synthesize : ?options:options -> Network.t -> t
+
+(**/**)
+
+val select_cubes :
+  man:Bdd.man ->
+  order:cube_order ->
+  sigma:Bdd.t ->
+  fanin_bdds:Bdd.t array ->
+  Logic2.Cover.t ->
+  Logic2.Cover.t
+(** Greedy essential-weight cube selection (exposed for tests). *)
+
+val bdds_in_man : Bdd.man -> Network.t -> Bdd.t array
+(** Elaborate a network's signals in an existing manager (input orders
+    must agree); exposed for verification code. *)

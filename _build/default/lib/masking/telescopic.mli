@@ -1,0 +1,21 @@
+(** Variable-latency (telescopic) units synthesized from the SPCF — the
+    application of refs [27, 28] the paper's Sec. 3 builds on. The
+    masking circuit's indicators double as the hold function. *)
+
+type report = {
+  fast_clock : float;
+  slow_clock : float;
+  hold_probability : float;
+  expected_latency_cycles : float;
+  expected_time : float;
+  speedup_vs_fixed : float;
+  hold_exact_probability : float;
+}
+
+val analyze : Synthesis.t -> report
+
+val validate : ?samples:int -> ?seed:int -> Synthesis.t -> bool
+(** Whenever hold is low, every critical output settles within the fast
+    clock (checked against exact per-pattern stabilization times). *)
+
+val pp : Format.formatter -> report -> unit

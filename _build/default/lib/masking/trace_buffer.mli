@@ -1,0 +1,17 @@
+(** Trace-buffer window expansion for in-system silicon debug (paper
+    Sec. 2.1): capture only the cycles on which some speed-path is
+    exercised (any e_i raised) instead of every cycle. *)
+
+type report = {
+  buffer_size : int;
+  cycles_simulated : int;
+  always_window : int;
+  selective_window : int;
+  captures : int;
+  expansion : float;
+}
+
+val selective_capture :
+  ?seed:int -> buffer_size:int -> cycles:int -> Synthesis.t -> report
+
+val pp : Format.formatter -> report -> unit

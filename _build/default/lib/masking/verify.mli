@@ -1,0 +1,26 @@
+(** Verification and overhead reporting for a synthesized masking
+    circuit: functional equivalence of the masked circuit, coverage of
+    the SPCF by the indicators, prediction soundness, the 20 % slack
+    requirement, and the Table-2 area/power overheads. *)
+
+type report = {
+  equivalent : bool;
+  coverage_ok : bool;
+  prediction_ok : bool;
+  coverage_pct : float;
+  critical_outputs : int;
+  critical_minterms : Extfloat.t;
+  delta_original : float;
+  delta_masking : float;
+  slack_pct : float;
+  mux_delay_impact : float;
+  area_original : float;
+  area_total : float;
+  area_overhead_pct : float;
+  power_original : float;
+  power_total : float;
+  power_overhead_pct : float;
+}
+
+val check : ?power_rounds:int -> Synthesis.t -> report
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/network/blif.ml: Array Buffer Hashtbl List Logic2 Network Option Printf String

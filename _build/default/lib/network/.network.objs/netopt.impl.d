@@ -1,0 +1,1 @@
+lib/network/netopt.ml: Array Hashtbl Lazy List Logic2 Network Option Printf

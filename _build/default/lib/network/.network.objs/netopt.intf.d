@@ -1,0 +1,1 @@
+lib/network/netopt.mli: Network

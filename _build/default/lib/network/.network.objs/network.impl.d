@@ -1,0 +1,1 @@
+lib/network/network.ml: Array Bdd Format Hashtbl List Logic2 Option Printf

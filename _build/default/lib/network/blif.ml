@@ -1,0 +1,162 @@
+(* Reader/writer for the combinational subset of BLIF: .model, .inputs,
+   .outputs, .names (single-output on-set covers), .end. Latches and
+   subcircuits are rejected — the paper's circuits are combinational. *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let tokenize_lines text =
+  (* Join continuation lines ending in '\', drop comments and blanks. *)
+  let raw = String.split_on_char '\n' text in
+  let rec join acc pending = function
+    | [] -> List.rev (if pending = "" then acc else pending :: acc)
+    | line :: rest ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let line = String.trim (pending ^ " " ^ line) in
+      if String.length line > 0 && line.[String.length line - 1] = '\\' then
+        join acc (String.sub line 0 (String.length line - 1)) rest
+      else if line = "" then join acc "" rest
+      else join (line :: acc) "" rest
+  in
+  let lines = join [] "" raw in
+  List.map
+    (fun l ->
+      String.split_on_char ' ' l |> List.filter (fun s -> s <> "") |> fun ts ->
+      List.concat_map (String.split_on_char '\t') ts |> List.filter (fun s -> s <> ""))
+    lines
+  |> List.filter (fun l -> l <> [])
+
+type pending_names = { out : string; ins : string list; rows : (string * char) list }
+
+let parse text =
+  let lines = tokenize_lines text in
+  let inputs = ref [] and outputs = ref [] and names = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | None -> ()
+    | Some p ->
+      names := { p with rows = List.rev p.rows } :: !names;
+      current := None
+  in
+  let handle = function
+    | ".model" :: _ -> ()
+    | ".inputs" :: ins -> inputs := !inputs @ ins
+    | ".outputs" :: outs -> outputs := !outputs @ outs
+    | ".names" :: signals -> begin
+      flush ();
+      match List.rev signals with
+      | out :: ins_rev -> current := Some { out; ins = List.rev ins_rev; rows = [] }
+      | [] -> fail ".names with no signals"
+    end
+    | ".end" :: _ -> flush ()
+    | (".latch" | ".subckt" | ".gate") :: _ ->
+      fail "only combinational single-model BLIF is supported"
+    | [ row; value ] when !current <> None ->
+      let p = Option.get !current in
+      if String.length value <> 1 || (value.[0] <> '0' && value.[0] <> '1') then
+        fail "bad cover output value %S" value;
+      current := Some { p with rows = (row, value.[0]) :: p.rows }
+    | [ value ] when !current <> None && (value = "0" || value = "1") ->
+      (* Constant node: a row with no input plane. *)
+      let p = Option.get !current in
+      current := Some { p with rows = ("", value.[0]) :: p.rows }
+    | tok :: _ -> fail "unexpected token %S" tok
+    | [] -> ()
+  in
+  List.iter handle lines;
+  flush ();
+  let names = List.rev !names in
+  (* Build the network; nodes may appear in any order in BLIF, so insert
+     them in dependency order. *)
+  let net = Network.create () in
+  List.iter (fun i -> ignore (Network.add_input net i)) !inputs;
+  let defs = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem defs p.out then fail "signal %S defined twice" p.out;
+      Hashtbl.replace defs p.out p)
+    names;
+  let in_progress = Hashtbl.create 64 in
+  let rec ensure name =
+    match Network.find net name with
+    | Some s -> s
+    | None ->
+      if Hashtbl.mem in_progress name then fail "combinational cycle at %S" name;
+      Hashtbl.replace in_progress name ();
+      let p =
+        match Hashtbl.find_opt defs name with
+        | Some p -> p
+        | None -> fail "undefined signal %S" name
+      in
+      let fanins = Array.of_list (List.map ensure p.ins) in
+      let arity = Array.length fanins in
+      let on_rows = List.filter (fun (_, v) -> v = '1') p.rows in
+      let off_rows = List.filter (fun (_, v) -> v = '0') p.rows in
+      let cover_of rows =
+        Logic2.Cover.of_cubes arity
+          (List.map
+             (fun (row, _) ->
+               if row = "" then Logic2.Cube.universe arity
+               else Logic2.Sop.cube_of_blif_row arity row)
+             rows)
+      in
+      let func =
+        match (on_rows, off_rows) with
+        | [], [] -> Logic2.Cover.zero arity
+        | rows, [] -> cover_of rows
+        | [], rows -> Logic2.Cover.complement (cover_of rows)
+        | _ -> fail "mixed on-set/off-set rows for %S" name
+      in
+      Hashtbl.remove in_progress name;
+      Network.add_node net name ~fanins ~func
+  in
+  List.iter (fun o -> Network.mark_output net ~name:o (ensure o)) !outputs;
+  net
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let to_string ?(model = "circuit") net =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr ".model %s\n" model;
+  let names arr = String.concat " " (Array.to_list arr) in
+  pr ".inputs %s\n" (names (Array.map (Network.name_of net) (Network.inputs net)));
+  pr ".outputs %s\n" (names (Array.map fst (Network.outputs net)));
+  Array.iter
+    (fun s ->
+      match Network.node_of net s with
+      | None -> ()
+      | Some n ->
+        pr ".names %s %s\n"
+          (names (Array.map (Network.name_of net) n.Network.fanins))
+          (Network.name_of net s);
+        List.iter
+          (fun c -> pr "%s 1\n" (Logic2.Sop.blif_row_of_cube c))
+          (Logic2.Cover.cubes n.Network.func))
+    (Network.topo_order net);
+  (* Outputs that rename an existing signal need a pass-through node. *)
+  Array.iter
+    (fun (name, s) ->
+      if Network.name_of net s <> name then begin
+        pr ".names %s %s\n" (Network.name_of net s) name;
+        pr "1 1\n"
+      end)
+    (Network.outputs net);
+  pr ".end\n";
+  Buffer.contents buf
+
+let write_file ?model path net =
+  let oc = open_out path in
+  output_string oc (to_string ?model net);
+  close_out oc

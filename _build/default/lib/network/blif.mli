@@ -1,0 +1,9 @@
+(** Reader/writer for the combinational subset of BLIF (.model/.inputs/
+    .outputs/.names/.end; single-output on-set or off-set covers). *)
+
+exception Parse_error of string
+
+val parse : string -> Network.t
+val parse_file : string -> Network.t
+val to_string : ?model:string -> Network.t -> string
+val write_file : ?model:string -> string -> Network.t -> unit

@@ -1,0 +1,582 @@
+(* Technology-independent network optimization: constant folding, wire
+   collapsing, bounded SOP elimination (substituting small node functions
+   into their fanouts), and rebalancing of XOR/XNOR chains into trees.
+   Used on the error-masking network T̃ between SPCF-based simplification
+   and technology mapping — the depth reduction it buys is what gives the
+   mapped masking circuit its timing slack over the original circuit. *)
+
+module Cover = Logic2.Cover
+module Cube = Logic2.Cube
+
+(* --- The optimizer ----------------------------------------------------- *)
+
+type limits = {
+  max_sub_cubes : int; (* a substituted node's cover size bound *)
+  max_result_cubes : int; (* fanout cover size bound after substitution *)
+  passes : int;
+}
+
+let default_limits = { max_sub_cubes = 4; max_result_cubes = 16; passes = 4 }
+
+(* Internal working representation: mutable node table indexed by the
+   original network's signals. *)
+type work = {
+  n : int;
+  names : string array;
+  mutable defs : (int array * Cover.t) option array; (* fanins, func *)
+  input_list : Network.signal array;
+  outputs : (string * Network.signal) array;
+}
+
+let work_of_network net =
+  let n = Network.num_signals net in
+  {
+    n;
+    names = Array.init n (Network.name_of net);
+    defs =
+      Array.init n (fun s ->
+          match Network.node_of net s with
+          | None -> None
+          | Some nd -> Some (Array.copy nd.Network.fanins, nd.Network.func));
+    input_list = Network.inputs net;
+    outputs = Network.outputs net;
+  }
+
+let is_const_cover c =
+  if Cover.is_zero c then Some false
+  else if Cover.is_tautology c then Some true
+  else None
+
+(* Rebuild a proper Network from the work table, keeping only signals
+   reachable from the outputs. Aliases (None-def signals that redirect to
+   another signal) are resolved through [alias]. *)
+let rebuild w alias =
+  let rec resolve s = match alias.(s) with -1 -> s | a -> resolve a in
+  let net = Network.create () in
+  let remap = Array.make w.n (-1) in
+  let const_cache = Hashtbl.create 4 in
+  (* Realize a constant as a node over the first input. *)
+  let constant value =
+    match Hashtbl.find_opt const_cache value with
+    | Some s -> s
+    | None ->
+      let base =
+        match Network.inputs net with
+        | [||] -> failwith "Netopt: constant in a network without inputs"
+        | ins -> ins.(0)
+      in
+      let func =
+        if value then
+          Cover.of_cubes 1 [ Cube.make 1 [ (0, true) ] ]
+          |> fun on -> Cover.union on (Cover.of_cubes 1 [ Cube.make 1 [ (0, false) ] ])
+        else Cover.zero 1
+      in
+      let s = Network.add_node net (if value then "__const1" else "__const0")
+          ~fanins:[| base |] ~func
+      in
+      Hashtbl.replace const_cache value s;
+      s
+  in
+  Array.iter (fun s -> remap.(s) <- Network.add_input net w.names.(s)) w.input_list;
+  let rec realize s0 =
+    let s = resolve s0 in
+    if remap.(s) >= 0 then remap.(s)
+    else begin
+      match w.defs.(s) with
+      | None -> remap.(s) (* inputs already mapped; -1 impossible *)
+      | Some (fanins, func) -> (
+        match is_const_cover func with
+        | Some v ->
+          let c = constant v in
+          remap.(s) <- c;
+          c
+        | None ->
+          let mapped_fanins = Array.map realize fanins in
+          let r = Network.add_node net w.names.(s) ~fanins:mapped_fanins ~func in
+          remap.(s) <- r;
+          r)
+    end
+  in
+  Array.iter (fun (name, s) -> Network.mark_output net ~name (realize s)) w.outputs;
+  net
+
+(* One elimination pass: substitute small single-fanout-friendly nodes
+   into their fanouts when the result stays within the cube limits. *)
+let eliminate_pass w limits alias =
+  let rec resolve s = match alias.(s) with -1 -> s | a -> resolve a in
+  let changed = ref false in
+  (* Wire collapsing: single positive literal nodes become aliases. *)
+  for s = 0 to w.n - 1 do
+    match w.defs.(s) with
+    | Some (fanins, func)
+      when Cover.num_cubes func = 1 && Cover.num_literals func = 1 -> (
+      match Cube.literals (List.hd (Cover.cubes func)) with
+      | [ (v, true) ] ->
+        alias.(s) <- resolve fanins.(v);
+        w.defs.(s) <- None;
+        changed := true
+      | _ -> ())
+    | _ -> ()
+  done;
+  (* Fanout counts after aliasing. *)
+  let fanout = Array.make w.n 0 in
+  for s = 0 to w.n - 1 do
+    match w.defs.(s) with
+    | None -> ()
+    | Some (fanins, _) ->
+      Array.iter (fun f -> fanout.(resolve f) <- fanout.(resolve f) + 1) fanins
+  done;
+  Array.iter (fun (_, s) -> fanout.(resolve s) <- fanout.(resolve s) + 1) w.outputs;
+  (* Substitute small nodes into their fanouts. Work on a signal s whose
+     def references a small node g: merge g's function into s's cover. *)
+  for s = 0 to w.n - 1 do
+    match w.defs.(s) with
+    | None -> ()
+    | Some (fanins, func) ->
+      let fanins = Array.map resolve fanins in
+      let arity = Array.length fanins in
+      (* Try to inline each fanin that is a small node. The composed
+         cover lives in a widened variable space: existing fanins plus
+         the candidate's fanins. *)
+      let try_inline local =
+        let g_sig = fanins.(local) in
+        match w.defs.(g_sig) with
+        | None -> None
+        | Some (g_fanins, g_func) ->
+          if
+            Cover.num_cubes g_func > limits.max_sub_cubes
+            || fanout.(g_sig) > 2
+          then None
+          else begin
+            let g_fanins = Array.map resolve g_fanins in
+            (* New fanin array: old fanins (minus the inlined one) plus
+               g's fanins, deduplicated. *)
+            let keep = ref [] in
+            Array.iteri (fun i f -> if i <> local then keep := f :: !keep) fanins;
+            Array.iter
+              (fun f -> if not (List.mem f !keep) then keep := f :: !keep)
+              g_fanins;
+            let new_fanins = Array.of_list (List.rev !keep) in
+            let new_arity = Array.length new_fanins in
+            if new_arity > 12 then None
+            else begin
+              let index_of f =
+                let rec go i = if new_fanins.(i) = f then i else go (i + 1) in
+                go 0
+              in
+              (* Rewrite a cube of the host cover into the new space. *)
+              let widen_cube cube =
+                let lits = ref [] in
+                List.iter
+                  (fun (v, ph) ->
+                    if v <> local then lits := (index_of fanins.(v), ph) :: !lits)
+                  (Cube.literals cube);
+                (Cube.make new_arity !lits, Cube.polarity cube local)
+              in
+              let widen_g_cover cover =
+                Cover.of_cubes new_arity
+                  (List.map
+                     (fun c ->
+                       Cube.make new_arity
+                         (List.map
+                            (fun (v, ph) -> (index_of g_fanins.(v), ph))
+                            (Cube.literals c)))
+                     (Cover.cubes cover))
+              in
+              let g_wide = widen_g_cover g_func in
+              let g_bar_wide = lazy (Cover.complement g_wide) in
+              let pieces =
+                List.map
+                  (fun cube ->
+                    let base, pol = widen_cube cube in
+                    let base_cover = Cover.of_cubes new_arity [ base ] in
+                    match pol with
+                    | Cube.Absent -> base_cover
+                    | Cube.Pos -> Cover.product base_cover g_wide
+                    | Cube.Neg -> Cover.product base_cover (Lazy.force g_bar_wide))
+                  (Cover.cubes func)
+              in
+              let composed =
+                Cover.single_cube_containment
+                  (List.fold_left Cover.union (Cover.zero new_arity) pieces)
+              in
+              if Cover.num_cubes composed > limits.max_result_cubes then None
+              else Some (new_fanins, composed)
+            end
+          end
+      in
+      (* Duplicate host fanins can make a rewritten cube contradictory;
+         treat that inlining attempt as not applicable. *)
+      let try_inline local = try try_inline local with Invalid_argument _ -> None in
+      let rec attempt local =
+        if local >= arity then ()
+        else
+          match try_inline local with
+          | Some (new_fanins, composed) ->
+            w.defs.(s) <- Some (new_fanins, composed);
+            changed := true
+          | None -> attempt (local + 1)
+      in
+      attempt 0
+  done;
+  !changed
+
+(* Detect 2-input XOR/XNOR covers. *)
+let xor_kind func =
+  if Cover.num_vars func <> 2 then None
+  else begin
+    let tt = Array.init 4 (fun i -> Cover.eval func [| i land 1 = 1; i lsr 1 = 1 |]) in
+    match tt with
+    | [| false; true; true; false |] -> Some true (* xor *)
+    | [| true; false; false; true |] -> Some false (* xnor *)
+    | _ -> None
+  end
+
+(* Rebalance maximal single-fanout XOR/XNOR chains into trees. *)
+let rebalance_xor net =
+  let n = Network.num_signals net in
+  let fanout_count = Array.map List.length (Network.fanouts net) in
+  Array.iter (fun (_, s) -> fanout_count.(s) <- fanout_count.(s) + 1)
+    (Network.outputs net);
+  let is_xorish s =
+    match Network.node_of net s with
+    | Some nd -> xor_kind nd.Network.func |> Option.map (fun k -> (k, nd.Network.fanins))
+    | None -> None
+  in
+  (* Collect parity leaves of the maximal xor tree rooted at s; returns
+     (leaves, parity_flip). A fanin participates only if it is xorish and
+     has a single fanout. *)
+  let rec leaves_of s ~root =
+    match is_xorish s with
+    | Some (kind, fanins) when root || fanout_count.(s) <= 1 ->
+      let l0, f0 = leaves_of fanins.(0) ~root:false in
+      let l1, f1 = leaves_of fanins.(1) ~root:false in
+      (l0 @ l1, (not kind) <> (f0 <> f1))
+      (* xnor contributes one polarity flip *)
+    | _ -> ([ s ], false)
+  in
+  let out = Network.create () in
+  let remap = Array.make n (-1) in
+  Array.iter
+    (fun s -> remap.(s) <- Network.add_input out (Network.name_of net s))
+    (Network.inputs net);
+  let xor_cover =
+    Cover.of_cubes 2
+      [ Cube.make 2 [ (0, true); (1, false) ]; Cube.make 2 [ (0, false); (1, true) ] ]
+  in
+  let xnor_cover = Cover.complement xor_cover in
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "__%s%d" prefix !counter
+  in
+  let rec realize s =
+    if remap.(s) >= 0 then remap.(s)
+    else begin
+      let r =
+        match is_xorish s with
+        | Some _ ->
+          let leaves, flip = leaves_of s ~root:true in
+          if List.length leaves <= 2 then realize_plain s
+          else begin
+            let mapped = List.map realize leaves in
+            (* Balanced xor tree; the final gate absorbs the polarity. *)
+            let rec tree = function
+              | [] -> assert false
+              | [ x ] -> x
+              | items ->
+                let rec pair acc = function
+                  | [] -> List.rev acc
+                  | [ x ] -> List.rev (x :: acc)
+                  | a :: b :: rest ->
+                    let nodesig =
+                      Network.add_node out (fresh "bx") ~fanins:[| a; b |]
+                        ~func:xor_cover
+                    in
+                    pair (nodesig :: acc) rest
+                in
+                tree (pair [] items)
+            in
+            match mapped with
+            | a :: b :: rest ->
+              let first_func = if flip then xnor_cover else xor_cover in
+              let first =
+                Network.add_node out (fresh "bx") ~fanins:[| a; b |] ~func:first_func
+              in
+              tree (first :: rest)
+            | _ -> assert false
+          end
+        | None -> realize_plain s
+      in
+      remap.(s) <- r;
+      r
+    end
+  and realize_plain s =
+    match Network.node_of net s with
+    | None -> remap.(s)
+    | Some nd ->
+      Network.add_node out (Network.name_of net s)
+        ~fanins:(Array.map realize nd.Network.fanins)
+        ~func:nd.Network.func
+  in
+  Array.iter
+    (fun (name, s) -> Network.mark_output out ~name (realize s))
+    (Network.outputs net);
+  out
+
+(* --- Affine chain collapsing ------------------------------------------ *)
+
+(* Every Boolean function is affine in each input over GF(2):
+   f(x, s) = (x ∧ A(s)) ⊕ B(s) with A = f|x=1 ⊕ f|x=0 (the Boolean
+   difference) and B = f|x=0. A single-fanout chain of such steps is a
+   composition of affine maps, and affine maps compose associatively:
+   (A,B) ∘ (A',B') = (A∧A', (B∧A')⊕B'). Reassociating the composition
+   as a balanced tree — the carry-lookahead trick — computes a chain of
+   m nodes in O(log m) levels instead of m. This is the restructuring
+   step that gives the error-masking circuit its timing slack over
+   deep sensitizable paths. *)
+
+type sigc = Const of bool | Sig of Network.signal
+
+let collapse_chains ?(min_len = 5) net =
+  let n = Network.num_signals net in
+  let fanout_count = Array.map List.length (Network.fanouts net) in
+  Array.iter (fun (_, s) -> fanout_count.(s) <- fanout_count.(s) + 1)
+    (Network.outputs net);
+  let level = Array.make n 0 in
+  Array.iter
+    (fun s ->
+      match Network.node_of net s with
+      | None -> ()
+      | Some nd ->
+        level.(s) <-
+          1 + Array.fold_left (fun acc f -> max acc level.(f)) 0 nd.Network.fanins)
+    (Network.topo_order net);
+  (* The chain predecessor of node s: its deepest internal single-fanout
+     fanin, provided s is small enough to cofactor cheaply. *)
+  let pred s =
+    match Network.node_of net s with
+    | None -> None
+    | Some nd ->
+      let distinct =
+        let l = Array.to_list nd.Network.fanins in
+        List.length (List.sort_uniq compare l) = List.length l
+      in
+      if
+        Array.length nd.Network.fanins > 4
+        || Logic2.Cover.num_cubes nd.Network.func > 6
+        || not distinct
+      then None
+      else begin
+        let best = ref None in
+        Array.iter
+          (fun f ->
+            if (not (Network.is_input net f)) && fanout_count.(f) = 1 then
+              match !best with
+              | Some b when level.(b) >= level.(f) -> ()
+              | _ -> best := Some f)
+          nd.Network.fanins;
+        !best
+      end
+  in
+  let out = Network.create () in
+  let remap = Array.make n (-1) in
+  Array.iter
+    (fun s -> remap.(s) <- Network.add_input out (Network.name_of net s))
+    (Network.inputs net);
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "__%s%d" prefix !counter
+  in
+  (* Symbolic node constructors with constant folding. *)
+  let rec realize s =
+    if remap.(s) >= 0 then remap.(s)
+    else begin
+      let r =
+        let chain = chain_of s in
+        if List.length chain >= min_len then realize_chain s chain
+        else realize_plain s
+      in
+      remap.(s) <- r;
+      r
+    end
+  and realize_plain s =
+    match Network.node_of net s with
+    | None -> remap.(s)
+    | Some nd ->
+      Network.add_node out (Network.name_of net s)
+        ~fanins:(Array.map realize nd.Network.fanins)
+        ~func:nd.Network.func
+  (* The maximal chain ending at s, listed bottom-up (nearest the leaf
+     first); s itself is included. *)
+  and chain_of s =
+    let rec walk s acc = match pred s with None -> s :: acc | Some p -> walk p (s :: acc) in
+    walk s []
+  (* Emit a cover over concrete signals, folding trivial cases. The
+     cover is first compacted to its support, so only the fanins it
+     actually reads are realized — in particular, never the (dead)
+     chain predecessor. [lookup v] realizes the node's fanin [v]. *)
+  and emit lookup cover =
+    if Logic2.Cover.is_zero cover then Const false
+    else if Logic2.Cover.is_tautology cover then Const true
+    else begin
+      let sup = Logic2.Cover.support cover in
+      let vars = Logic2.Bits.to_list sup in
+      let new_arity = List.length vars in
+      let index = Hashtbl.create 8 in
+      List.iteri (fun i v -> Hashtbl.replace index v i) vars;
+      let remap_cube c =
+        Logic2.Cube.make new_arity
+          (List.map (fun (v, ph) -> (Hashtbl.find index v, ph)) (Logic2.Cube.literals c))
+      in
+      let cover' =
+        Logic2.Cover.of_cubes new_arity (List.map remap_cube (Logic2.Cover.cubes cover))
+      in
+      match Logic2.Cover.cubes cover' with
+      | [ c ] when Logic2.Cube.num_literals c = 1 -> (
+        match (Logic2.Cube.literals c, vars) with
+        | [ (0, true) ], [ v ] -> Sig (lookup v)
+        | [ (0, false) ], [ v ] ->
+          Sig
+            (Network.add_node out (fresh "ci")
+               ~fanins:[| lookup v |]
+               ~func:(Logic2.Cover.of_cubes 1 [ Logic2.Cube.make 1 [ (0, false) ] ]))
+        | _ -> assert false)
+      | _ ->
+        let fanins = Array.of_list (List.map lookup vars) in
+        Sig (Network.add_node out (fresh "cf") ~fanins ~func:cover')
+    end
+  and band2 a b =
+    match (a, b) with
+    | Const false, _ | _, Const false -> Const false
+    | Const true, x | x, Const true -> x
+    | Sig sa, Sig sb ->
+      if sa = sb then Sig sa
+      else
+        Sig
+          (Network.add_node out (fresh "ca") ~fanins:[| sa; sb |]
+             ~func:
+               (Logic2.Cover.of_cubes 2 [ Logic2.Cube.make 2 [ (0, true); (1, true) ] ]))
+  and bxor2 a b =
+    match (a, b) with
+    | Const false, x | x, Const false -> x
+    | Const true, Sig s ->
+      Sig
+        (Network.add_node out (fresh "ci") ~fanins:[| s |]
+           ~func:(Logic2.Cover.of_cubes 1 [ Logic2.Cube.make 1 [ (0, false) ] ]))
+    | Sig s, Const true ->
+      bxor2 (Const true) (Sig s)
+    | Const true, Const true -> Const false
+    | Sig sa, Sig sb ->
+      if sa = sb then Const false
+      else
+        Sig
+          (Network.add_node out (fresh "cx") ~fanins:[| sa; sb |]
+             ~func:
+               (Logic2.Cover.of_cubes 2
+                  [
+                    Logic2.Cube.make 2 [ (0, true); (1, false) ];
+                    Logic2.Cube.make 2 [ (0, false); (1, true) ];
+                  ]))
+  (* (b ∧ a') ⊕ b' *)
+  and affine_b b a' b' = bxor2 (band2 b a') b'
+  and realize_chain s chain =
+    match chain with
+    | [] | [ _ ] -> realize_plain s
+    | first :: _ ->
+      (* The chain's external deep input: first's predecessor does not
+         exist, so its deep var is just one of its fanins; we treat the
+         whole of [first] as a step over x0 = its deepest realized fanin
+         only if it has one — otherwise x0 is a fresh constant-false and
+         B absorbs the function. Simpler and robust: take x0 = first's
+         deepest fanin (realized normally). *)
+      let x0 =
+        match Network.node_of net first with
+        | None -> assert false
+        | Some nd ->
+          let best = ref nd.Network.fanins.(0) in
+          Array.iter (fun f -> if level.(f) > level.(!best) then best := f) nd.Network.fanins;
+          !best
+      in
+      let step node =
+        match Network.node_of net node with
+        | None -> assert false
+        | Some nd ->
+          (* Deep input: the chain predecessor (or x0 for the first). *)
+          let deep =
+            match pred node with
+            | Some p -> p
+            | None -> x0
+          in
+          let deep_local =
+            let rec find i = if nd.Network.fanins.(i) = deep then i else find (i + 1) in
+            find 0
+          in
+          let f1 = Logic2.Cover.cofactor nd.Network.func deep_local true in
+          let f0 = Logic2.Cover.cofactor nd.Network.func deep_local false in
+          (* A = f1 ⊕ f0, B = f0, over the node's full fanin space (the
+             deep variable no longer occurs). *)
+          let nf0 = Logic2.Cover.complement f0 in
+          let nf1 = Logic2.Cover.complement f1 in
+          let a_cover =
+            Logic2.Cover.single_cube_containment
+              (Logic2.Cover.union
+                 (Logic2.Cover.product f1 nf0)
+                 (Logic2.Cover.product f0 nf1))
+          in
+          let lookup v = realize nd.Network.fanins.(v) in
+          (emit lookup a_cover, emit lookup f0)
+      in
+      let steps = List.map step chain in
+      (* Balanced composition of the affine maps. *)
+      let combine (a, b) (a', b') = (band2 a a', affine_b b a' b') in
+      let rec tree = function
+        | [] -> assert false
+        | [ x ] -> x
+        | items ->
+          let rec pair acc = function
+            | [] -> List.rev acc
+            | [ x ] -> List.rev (x :: acc)
+            | p :: q :: rest -> pair (combine p q :: acc) rest
+          in
+          tree (pair [] items)
+      in
+      let a_tot, b_tot = tree steps in
+      let result = bxor2 (band2 (Sig (realize x0)) a_tot) b_tot in
+      (match result with
+      | Sig r -> r
+      | Const v ->
+        (* Constant chain value: realize as a constant node. *)
+        let base =
+          match Network.inputs out with
+          | [||] -> failwith "Netopt.collapse_chains: constant without inputs"
+          | ins -> ins.(0)
+        in
+        let func =
+          if v then
+            Logic2.Cover.of_cubes 1
+              [ Logic2.Cube.make 1 [ (0, true) ]; Logic2.Cube.make 1 [ (0, false) ] ]
+          else Logic2.Cover.zero 1
+        in
+        Network.add_node out (fresh "cc") ~fanins:[| base |] ~func)
+  in
+  Array.iter
+    (fun (name, s) -> Network.mark_output out ~name (realize s))
+    (Network.outputs net);
+  out
+
+let eliminate ?(limits = default_limits) net =
+  let w = work_of_network net in
+  let alias = Array.make w.n (-1) in
+  let rec loop k =
+    if k > 0 && eliminate_pass w limits alias then loop (k - 1)
+  in
+  loop limits.passes;
+  rebuild w alias
+
+(* Collapse first: chain collapsing needs the narrow 2-3-input chain
+   nodes intact, and elimination would merge them past its arity bound. *)
+let optimize ?(limits = default_limits) ?(collapse = false) net =
+  let net = if collapse then collapse_chains net else net in
+  rebalance_xor (eliminate ~limits net)

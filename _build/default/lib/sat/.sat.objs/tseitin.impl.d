@@ -1,0 +1,1 @@
+lib/sat/tseitin.ml: Array Dpll Hashtbl List Logic2 Network

@@ -1,0 +1,108 @@
+(* A small DPLL SAT solver: unit propagation with a trail, chronological
+   backtracking, first-unassigned branching. Built as an *independent*
+   verification engine — equivalence and coverage results proved with
+   BDDs elsewhere in the repository are cross-checked against it, so a
+   bug would have to appear identically in two very different procedures
+   to go unnoticed.
+
+   Literal encoding: variable v >= 0; literal = 2v (positive) or 2v+1
+   (negated). *)
+
+type literal = int
+
+let pos v = 2 * v
+let neg v = (2 * v) + 1
+let var_of l = l / 2
+let is_neg l = l land 1 = 1
+let negate l = l lxor 1
+
+type result = Sat of bool array | Unsat
+
+type t = {
+  nvars : int;
+  mutable clauses : literal array list;
+}
+
+let create nvars = { nvars; clauses = [] }
+
+let add_clause t lits =
+  (* Trivially true clauses (l ∨ ¬l) are dropped; duplicates kept. *)
+  let tautological =
+    List.exists (fun l -> List.mem (negate l) lits) lits
+  in
+  if not tautological then t.clauses <- Array.of_list lits :: t.clauses
+
+exception Found of bool array
+
+let solve t =
+  let clauses = Array.of_list t.clauses in
+  (* 0 = unassigned, 1 = true, -1 = false *)
+  let value = Array.make t.nvars 0 in
+  let lit_value l =
+    let v = value.(var_of l) in
+    if v = 0 then 0 else if is_neg l then -v else v
+  in
+  let trail = Array.make (max 1 t.nvars) 0 in
+  let trail_len = ref 0 in
+  let assign l =
+    value.(var_of l) <- (if is_neg l then -1 else 1);
+    trail.(!trail_len) <- var_of l;
+    incr trail_len
+  in
+  let undo_to mark =
+    while !trail_len > mark do
+      decr trail_len;
+      value.(trail.(!trail_len)) <- 0
+    done
+  in
+  (* Unit propagation by scanning; returns false on conflict. *)
+  let rec propagate () =
+    let changed = ref false in
+    let ok =
+      Array.for_all
+        (fun clause ->
+          let satisfied = ref false in
+          let unassigned = ref (-1) in
+          let n_unassigned = ref 0 in
+          Array.iter
+            (fun l ->
+              match lit_value l with
+              | 1 -> satisfied := true
+              | 0 ->
+                incr n_unassigned;
+                unassigned := l
+              | _ -> ())
+            clause;
+          if !satisfied then true
+          else if !n_unassigned = 0 then false
+          else begin
+            if !n_unassigned = 1 then begin
+              assign !unassigned;
+              changed := true
+            end;
+            true
+          end)
+        clauses
+    in
+    if not ok then false else if !changed then propagate () else true
+  in
+  let rec decide () =
+    let rec next v = if v >= t.nvars then -1 else if value.(v) = 0 then v else next (v + 1) in
+    let v = next 0 in
+    if v < 0 then raise (Found (Array.map (fun x -> x = 1) value))
+    else begin
+      let mark = !trail_len in
+      assign (pos v);
+      if propagate () then decide ();
+      undo_to mark;
+      assign (neg v);
+      if propagate () then decide ();
+      undo_to mark
+    end
+  in
+  try
+    if propagate () then decide ();
+    Unsat
+  with Found model -> Sat model
+
+let is_satisfiable t = match solve t with Sat _ -> true | Unsat -> false

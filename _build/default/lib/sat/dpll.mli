@@ -1,0 +1,21 @@
+(** A small DPLL SAT solver (unit propagation, chronological
+    backtracking) — the independent engine used to cross-check BDD-based
+    verification results. *)
+
+type literal = int
+
+val pos : int -> literal
+val neg : int -> literal
+val var_of : literal -> int
+val is_neg : literal -> bool
+val negate : literal -> literal
+
+type result = Sat of bool array | Unsat
+type t
+
+val create : int -> t
+(** [create nvars] — variables are [0 .. nvars-1]. *)
+
+val add_clause : t -> literal list -> unit
+val solve : t -> result
+val is_satisfiable : t -> bool

@@ -1,0 +1,128 @@
+(* Tseitin encoding of Boolean networks into CNF, and a SAT-based miter
+   for combinational equivalence checking — the independent counterpart
+   to the BDD-based [Network.equivalent]. *)
+
+type encoding = {
+  solver : Dpll.t;
+  var_of_signal : int array; (* per network signal *)
+  next_var : int ref;
+}
+
+let fresh enc =
+  let v = !(enc.next_var) in
+  incr enc.next_var;
+  v
+
+(* Encode every signal of [net] on top of an existing variable budget;
+   input variables are supplied by [input_var name]. *)
+let encode_network solver next_var ~input_var net =
+  let n = Network.num_signals net in
+  let enc = { solver; var_of_signal = Array.make n (-1); next_var } in
+  Array.iter
+    (fun s -> enc.var_of_signal.(s) <- input_var (Network.name_of net s))
+    (Network.inputs net);
+  Array.iter
+    (fun s ->
+      match Network.node_of net s with
+      | None -> ()
+      | Some nd ->
+        let z = fresh enc in
+        enc.var_of_signal.(s) <- z;
+        let lit_of (local, phase) =
+          let v = enc.var_of_signal.(nd.Network.fanins.(local)) in
+          if phase then Dpll.pos v else Dpll.neg v
+        in
+        let cover = nd.Network.func in
+        if Logic2.Cover.is_zero cover then Dpll.add_clause solver [ Dpll.neg z ]
+        else if Logic2.Cover.has_universe cover then
+          Dpll.add_clause solver [ Dpll.pos z ]
+        else begin
+          (* Cube variables u_i <-> AND of literals. *)
+          let cube_vars =
+            List.map
+              (fun cube ->
+                let lits = List.map lit_of (Logic2.Cube.literals cube) in
+                match lits with
+                | [ single ] -> single (* the cube IS its literal *)
+                | _ ->
+                  let u = fresh enc in
+                  List.iter
+                    (fun l -> Dpll.add_clause solver [ Dpll.neg u; l ])
+                    lits;
+                  Dpll.add_clause solver
+                    (Dpll.pos u :: List.map Dpll.negate lits);
+                  Dpll.pos u)
+              (Logic2.Cover.cubes cover)
+          in
+          (* z <-> OR of cubes. *)
+          Dpll.add_clause solver (Dpll.neg z :: cube_vars);
+          List.iter
+            (fun u -> Dpll.add_clause solver [ Dpll.negate u; Dpll.pos z ])
+            cube_vars
+        end)
+    (Network.topo_order net);
+  enc
+
+(* SAT-based combinational equivalence: build a miter over shared input
+   variables and ask whether any output pair can differ. *)
+let equivalent net_a net_b =
+  (* Inputs are matched by name over the union of both input sets: an
+     input appearing on one side only is simply an unconstrained
+     variable there (a circuit that truly depends on it differently is
+     caught by the miter). *)
+  let names_a =
+    List.sort compare (Array.to_list (Array.map (Network.name_of net_a) (Network.inputs net_a)))
+  in
+  let names_b =
+    List.sort compare (Array.to_list (Array.map (Network.name_of net_b) (Network.inputs net_b)))
+  in
+  let names = List.sort_uniq compare (names_a @ names_b) in
+  begin
+    let next_var = ref 0 in
+    let input_vars = Hashtbl.create 32 in
+    List.iter
+      (fun name ->
+        Hashtbl.replace input_vars name !next_var;
+        incr next_var)
+      names;
+    (* A generous variable budget: inputs + nodes + cubes. *)
+    let budget net =
+      Network.num_signals net + 4
+      + Array.fold_left
+          (fun acc s ->
+            match Network.node_of net s with
+            | None -> acc
+            | Some nd -> acc + Logic2.Cover.num_cubes nd.Network.func + 1)
+          0 (Network.topo_order net)
+    in
+    let total = !next_var + budget net_a + budget net_b + 8 in
+    let solver = Dpll.create (total + Array.length (Network.outputs net_a) + 1) in
+    let input_var name = Hashtbl.find input_vars name in
+    let enc_a = encode_network solver next_var ~input_var net_a in
+    let enc_b = encode_network solver next_var ~input_var net_b in
+    let outs_a = Network.outputs net_a and outs_b = Network.outputs net_b in
+    if Array.length outs_a <> Array.length outs_b then false
+    else begin
+      let diff_lits =
+        Array.to_list outs_a
+        |> List.filter_map (fun (name, sa) ->
+               match Array.find_opt (fun (n, _) -> n = name) outs_b with
+               | None -> None
+               | Some (_, sb) ->
+                 let a = enc_a.var_of_signal.(sa)
+                 and b = enc_b.var_of_signal.(sb) in
+                 (* d <-> a xor b *)
+                 let d = fresh enc_a in
+                 Dpll.add_clause solver [ Dpll.neg d; Dpll.pos a; Dpll.pos b ];
+                 Dpll.add_clause solver [ Dpll.neg d; Dpll.neg a; Dpll.neg b ];
+                 Dpll.add_clause solver [ Dpll.pos d; Dpll.neg a; Dpll.pos b ];
+                 Dpll.add_clause solver [ Dpll.pos d; Dpll.pos a; Dpll.neg b ];
+                 Some (Dpll.pos d))
+      in
+      if List.length diff_lits <> Array.length outs_a then false
+      else begin
+        Dpll.add_clause solver diff_lits;
+        not (Dpll.is_satisfiable solver)
+      end
+    end
+  end

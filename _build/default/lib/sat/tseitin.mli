@@ -1,0 +1,14 @@
+(** Tseitin CNF encoding of Boolean networks and a SAT miter. *)
+
+type encoding = {
+  solver : Dpll.t;
+  var_of_signal : int array;
+  next_var : int ref;
+}
+
+val encode_network :
+  Dpll.t -> int ref -> input_var:(string -> int) -> Network.t -> encoding
+
+val equivalent : Network.t -> Network.t -> bool
+(** SAT-based combinational equivalence (inputs/outputs matched by
+    name) — independent of [Network.equivalent]. *)

@@ -1,0 +1,1 @@
+lib/sim/bitsim.ml: Array List Logic2 Mapped Network Util

@@ -1,0 +1,1 @@
+lib/sim/bitsim.mli: Mapped Network Util

@@ -1,0 +1,1 @@
+lib/sim/tsim.ml: Array Float List Logic2 Mapped Network Util

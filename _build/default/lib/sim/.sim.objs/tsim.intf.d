@@ -1,0 +1,1 @@
+lib/sim/tsim.mli: Mapped Network

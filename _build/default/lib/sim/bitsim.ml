@@ -1,0 +1,82 @@
+(* Bit-parallel zero-delay logic simulation: 63 patterns per native int
+   word, evaluated over a network's SOP node functions. *)
+
+type t = {
+  net : Network.t;
+  order : Network.signal array;
+  inputs : Network.signal array;
+}
+
+let prepare net =
+  { net; order = Network.topo_order net; inputs = Network.inputs net }
+
+let of_mapped circuit = prepare (Mapped.network circuit)
+
+(* Evaluate all signals for a word of patterns; [pi_words.(i)] carries the
+   i-th primary input's values, one pattern per bit. *)
+let eval_word t pi_words =
+  if Array.length pi_words <> Array.length t.inputs then
+    invalid_arg "Bitsim.eval_word: wrong number of input words";
+  let n = Network.num_signals t.net in
+  let value = Array.make n 0 in
+  Array.iteri (fun i s -> value.(s) <- pi_words.(i)) t.inputs;
+  Array.iter
+    (fun s ->
+      match Network.node_of t.net s with
+      | None -> ()
+      | Some nd ->
+        let local = Array.map (fun f -> value.(f)) nd.Network.fanins in
+        let eval_cube c =
+          List.fold_left
+            (fun acc (v, ph) -> acc land (if ph then local.(v) else lnot local.(v)))
+            (-1) (Logic2.Cube.literals c)
+        in
+        value.(s) <-
+          List.fold_left
+            (fun acc c -> acc lor eval_cube c)
+            0
+            (Logic2.Cover.cubes nd.Network.func))
+    t.order;
+  value
+
+let random_pi_words t rng =
+  Array.init (Array.length t.inputs) (fun _ ->
+      (* 62 random bits, keeping the sign bit clear. *)
+      let a = Util.Rng.int rng (1 lsl 31) and b = Util.Rng.int rng (1 lsl 31) in
+      (a lsl 31) lor b)
+
+(* Per-signal toggle counts between consecutive randomly-drawn pattern
+   words, for switching-activity estimation. [rounds] words are applied;
+   each contributes 62 pattern pairs plus one carry-over pair. *)
+let toggle_counts t rng ~rounds =
+  let n = Network.num_signals t.net in
+  let toggles = Array.make n 0 in
+  let popcount w =
+    let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+    go w 0
+  in
+  let prev = ref None in
+  for _ = 1 to rounds do
+    let words = random_pi_words t rng in
+    let value = eval_word t words in
+    (match !prev with
+    | None -> ()
+    | Some last ->
+      (* Pairs within the word: bit b vs bit b+1 (61 pairs over 62 bits),
+         plus the seam between the previous word's top bit and this one's
+         bottom bit. *)
+      for s = 0 to n - 1 do
+        let v = value.(s) in
+        let within = (v lxor (v lsr 1)) land ((1 lsl 61) - 1) in
+        let seam = (v lxor (last.(s) lsr 61)) land 1 in
+        toggles.(s) <- toggles.(s) + popcount within + seam
+      done);
+    prev := Some value
+  done;
+  let pairs = max 1 ((rounds - 1) * 62) in
+  (toggles, pairs)
+
+(* Activity = toggle probability per signal. *)
+let activities t rng ~rounds =
+  let toggles, pairs = toggle_counts t rng ~rounds in
+  Array.map (fun c -> float_of_int c /. float_of_int pairs) toggles

@@ -1,0 +1,10 @@
+(** Switching-activity dynamic-power estimation for mapped circuits. *)
+
+type report = {
+  total : float;
+  per_signal : float array;
+  activity : float array;
+}
+
+val estimate : ?rounds:int -> ?seed:int -> Mapped.t -> report
+val total : ?rounds:int -> ?seed:int -> Mapped.t -> float

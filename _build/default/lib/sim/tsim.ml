@@ -1,0 +1,73 @@
+(* Event-driven gate-level timing simulation with transport delays.
+   A run applies one input transition (steady state under [from_], then
+   the inputs switch to [to_] at t = 0) and tracks every signal's
+   waveform endpoints: its value at the sampling (clock) edge and its
+   final, settled value. An output suffers a timing error exactly when
+   the two differ — i.e. the flop captures a stale or glitching value. *)
+
+type event = { signal : Network.signal; value : bool }
+
+type result = {
+  final : bool array;
+  at_clock : bool array;
+  last_change : float array;
+  settle : float; (* time of the last value change anywhere *)
+}
+
+let simulate circuit ~delays ~from_ ~to_ ~clock =
+  let net = Mapped.network circuit in
+  let n = Network.num_signals net in
+  let inputs = Network.inputs net in
+  if Array.length from_ <> Array.length inputs || Array.length to_ <> Array.length inputs
+  then invalid_arg "Tsim.simulate: input vector arity mismatch";
+  let cur = Network.eval net from_ in
+  let last_change = Array.make n 0. in
+  let queue = Util.Heap.create { signal = -1; value = false } in
+  Array.iteri
+    (fun i s -> if to_.(i) <> cur.(s) then Util.Heap.push queue 0. { signal = s; value = to_.(i) })
+    inputs;
+  let fanouts = Network.fanouts net in
+  let eval_gate g =
+    match Network.node_of net g with
+    | None -> cur.(g)
+    | Some nd ->
+      let local = Array.map (fun f -> cur.(f)) nd.Network.fanins in
+      Logic2.Cover.eval nd.Network.func local
+  in
+  let at_clock = ref None in
+  let settle = ref 0. in
+  let snapshot_if_due now =
+    if now > clock && !at_clock = None then at_clock := Some (Array.copy cur)
+  in
+  let rec run () =
+    match Util.Heap.pop queue with
+    | None -> ()
+    | Some (now, { signal = s; value = v }) ->
+      snapshot_if_due now;
+      if cur.(s) <> v then begin
+        cur.(s) <- v;
+        last_change.(s) <- now;
+        settle := Float.max !settle now;
+        List.iter
+          (fun g ->
+            let nv = eval_gate g in
+            Util.Heap.push queue (now +. delays.(g)) { signal = g; value = nv })
+          fanouts.(s)
+      end;
+      run ()
+  in
+  run ();
+  let at_clock = match !at_clock with Some a -> a | None -> Array.copy cur in
+  { final = cur; at_clock; last_change; settle = !settle }
+
+(* Output timing errors at the clock edge: names of outputs whose captured
+   value differs from the settled value. *)
+let output_errors circuit result =
+  Network.outputs (Mapped.network circuit)
+  |> Array.to_list
+  |> List.filter (fun (_, s) -> result.at_clock.(s) <> result.final.(s))
+
+(* Delay vector with gates selected by [on] slowed down by [factor] —
+   the wearout / aging model (uniform degradation of selected gates). *)
+let degraded_delays base ~factor ~on =
+  Array.mapi (fun s d -> if on s then d *. factor else d) base

@@ -1,0 +1,25 @@
+(** Event-driven gate-level timing simulation (transport delays). *)
+
+type result = {
+  final : bool array;  (** settled value per signal *)
+  at_clock : bool array;  (** value per signal at the sampling edge *)
+  last_change : float array;
+  settle : float;  (** time of the last change anywhere *)
+}
+
+val simulate :
+  Mapped.t ->
+  delays:float array ->
+  from_:bool array ->
+  to_:bool array ->
+  clock:float ->
+  result
+(** Steady state under [from_], inputs switch to [to_] at t = 0, sampled
+    at [clock]. *)
+
+val output_errors : Mapped.t -> result -> (string * Network.signal) list
+(** Outputs whose captured value differs from their settled value. *)
+
+val degraded_delays :
+  float array -> factor:float -> on:(Network.signal -> bool) -> float array
+(** Scale the delays of selected gates — the aging/wearout model. *)

@@ -1,0 +1,1 @@
+lib/spcf/ctx.ml: Array Bdd Cell Float Hashtbl List Logic2 Mapped Network Sta

@@ -1,0 +1,1 @@
+lib/spcf/ctx.mli: Bdd Extfloat Hashtbl Logic2 Mapped Network Sta

@@ -1,0 +1,1 @@
+lib/spcf/exact.ml: Array Bdd Ctx Hashtbl List Logic2 Network Sta Unix

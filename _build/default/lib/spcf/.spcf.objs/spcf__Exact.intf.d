@@ -1,0 +1,1 @@
+lib/spcf/exact.mli: Ctx Network

@@ -1,0 +1,1 @@
+lib/spcf/node_based.ml: Array Bdd Ctx List Logic2 Network Sta Unix

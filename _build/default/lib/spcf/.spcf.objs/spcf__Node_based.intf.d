@@ -1,0 +1,1 @@
+lib/spcf/node_based.mli: Ctx

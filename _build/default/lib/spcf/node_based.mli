@@ -1,0 +1,5 @@
+(** Node-based SPCF over-approximation (Su et al. [22] style): critical
+    gates marked statically, one stability function per gate, single
+    topological pass. Guaranteed superset of the exact SPCF. *)
+
+val compute : Ctx.t -> target:float -> Ctx.result

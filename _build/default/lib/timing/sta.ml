@@ -1,0 +1,119 @@
+(* Static timing analysis over mapped circuits: arrival times, maximum
+   downstream ("tail") delays, critical-path delay, and the θ-critical
+   gate/output sets that drive SPCF computation. *)
+
+let eps = 1e-9
+
+type delay_model =
+  | Unit  (** every gate has delay 1 *)
+  | Paper_units  (** inverters 1, all other gates 2 — the Sec. 4.2 model *)
+  | Library  (** per-cell pin-to-pin delay *)
+  | Library_load of float  (** cell delay + slope × capacitive load *)
+
+let gate_delays model circuit =
+  let net = Mapped.network circuit in
+  let n = Network.num_signals net in
+  let loads = lazy (Mapped.loads circuit) in
+  Array.init n (fun s ->
+      match Mapped.cell_of circuit s with
+      | None -> 0.
+      | Some cell -> (
+        match model with
+        | Unit -> 1.
+        | Paper_units -> if cell.Cell.cname = "IV" then 1. else 2.
+        | Library -> cell.Cell.delay
+        | Library_load slope ->
+          cell.Cell.delay +. (slope *. (Lazy.force loads).(s))))
+
+type t = {
+  circuit : Mapped.t;
+  model : delay_model;
+  delay : float array; (* per signal: its driving gate's delay, 0 for PIs *)
+  arrival : float array;
+  tail : float array; (* max downstream gate-delay sum from this signal *)
+  delta : float; (* critical path delay over primary outputs *)
+}
+
+let analyze ?(model = Library) circuit =
+  let net = Mapped.network circuit in
+  let n = Network.num_signals net in
+  let delay = gate_delays model circuit in
+  let arrival = Array.make n 0. in
+  Array.iter
+    (fun s ->
+      match Network.node_of net s with
+      | None -> ()
+      | Some nd ->
+        let worst =
+          Array.fold_left (fun acc f -> Float.max acc arrival.(f)) 0. nd.Network.fanins
+        in
+        arrival.(s) <- worst +. delay.(s))
+    (Network.topo_order net);
+  let tail = Array.make n 0. in
+  let fanouts = Network.fanouts net in
+  let order = Network.topo_order net in
+  for i = Array.length order - 1 downto 0 do
+    let s = order.(i) in
+    List.iter
+      (fun g -> tail.(s) <- Float.max tail.(s) (delay.(g) +. tail.(g)))
+      fanouts.(s)
+  done;
+  let delta =
+    Array.fold_left
+      (fun acc (_, s) -> Float.max acc arrival.(s))
+      0. (Network.outputs net)
+  in
+  { circuit; model; delay; arrival; tail; delta }
+
+let circuit t = t.circuit
+let model t = t.model
+let delta t = t.delta
+let arrival t s = t.arrival.(s)
+let tail t s = t.tail.(s)
+let delay t s = t.delay.(s)
+
+(* Slack of a signal against a target arrival time at the outputs. *)
+let slack t ~target s = target -. t.arrival.(s) -. t.tail.(s)
+
+(* Outputs at which at least one path longer than [target] terminates. *)
+let critical_outputs t ~target =
+  Array.to_list (Network.outputs (Mapped.network t.circuit))
+  |> List.filter (fun (_, s) -> t.arrival.(s) > target +. eps)
+  |> Array.of_list
+
+(* Gates lying on some structural path longer than [target] — the static
+   criticality marking of the node-based SPCF approach. *)
+let critical_signals t ~target =
+  let n = Network.num_signals (Mapped.network t.circuit) in
+  Array.init n (fun s -> t.arrival.(s) +. t.tail.(s) > target +. eps)
+
+(* One longest path, as signals from a primary input to an output. *)
+let longest_path t =
+  let net = Mapped.network t.circuit in
+  let outs = Network.outputs net in
+  let _, worst =
+    Array.fold_left
+      (fun ((best_a, _) as acc) (_, s) ->
+        if t.arrival.(s) > best_a then (t.arrival.(s), s) else acc)
+      (neg_infinity, -1) outs
+  in
+  let rec walk s acc =
+    match Network.node_of net s with
+    | None -> s :: acc
+    | Some nd ->
+      let want = t.arrival.(s) -. t.delay.(s) in
+      let prev =
+        Array.fold_left
+          (fun found f ->
+            match found with
+            | Some _ -> found
+            | None -> if Float.abs (t.arrival.(f) -. want) < eps then Some f else None)
+          None nd.Network.fanins
+      in
+      (match prev with Some f -> walk f (s :: acc) | None -> s :: acc)
+  in
+  (walk worst [], t.delta)
+
+let pp fmt t =
+  Format.fprintf fmt "sta: delta=%.3f over %d gates" t.delta
+    (Mapped.gate_count t.circuit)

@@ -1,0 +1,39 @@
+(** Static timing analysis over mapped circuits. *)
+
+val eps : float
+(** Comparison epsilon for delay arithmetic. *)
+
+type delay_model =
+  | Unit
+  | Paper_units  (** inverter = 1, other gates = 2 (paper Sec. 4.2) *)
+  | Library
+  | Library_load of float  (** cell delay + slope × load *)
+
+val gate_delays : delay_model -> Mapped.t -> float array
+(** Per-signal driving-gate delay (0 for primary inputs). *)
+
+type t
+
+val analyze : ?model:delay_model -> Mapped.t -> t
+val circuit : t -> Mapped.t
+val model : t -> delay_model
+
+val delta : t -> float
+(** Critical path delay Δ (max arrival over primary outputs). *)
+
+val arrival : t -> Network.signal -> float
+val tail : t -> Network.signal -> float
+(** Maximum downstream gate-delay sum from the signal to any output. *)
+
+val delay : t -> Network.signal -> float
+val slack : t -> target:float -> Network.signal -> float
+
+val critical_outputs : t -> target:float -> (string * Network.signal) array
+(** Outputs where a structural path longer than [target] terminates. *)
+
+val critical_signals : t -> target:float -> bool array
+(** Signals on some structural path longer than [target] (the static
+    marking used by the node-based SPCF approach). *)
+
+val longest_path : t -> Network.signal list * float
+val pp : Format.formatter -> t -> unit

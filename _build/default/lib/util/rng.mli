@@ -1,0 +1,18 @@
+(** Deterministic splitmix64 RNG; the single randomness source of the
+    repository, so all experiments are reproducible from their seeds. *)
+
+type t
+
+val create : int -> t
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val split : t -> t
+(** An independent child generator. *)
+
+val shuffle : t -> 'a array -> unit
+val pick : t -> 'a array -> 'a

@@ -1,0 +1,90 @@
+(* Tests for the two runtime applications built on the masking circuit:
+   wearout monitoring (aging sweeps) and trace-buffer window expansion. *)
+
+let check = Alcotest.(check bool)
+
+let test_monitor_consistency () =
+  (* Internal consistency of the sweep: a logged event requires a raw
+     capture error (e=1 implies the prediction equals the settled value,
+     so a y/ỹ mismatch at the clock means y was mis-captured), and rates
+     are probabilities. *)
+  let net = Suite.load "i1" in
+  let m = Masking.Synthesis.synthesize net in
+  let samples =
+    Masking.Monitor.aging_sweep ~trials:300 ~factors:[ 1.0; 1.1; 1.25 ] m
+  in
+  List.iter
+    (fun (s : Masking.Monitor.sample) ->
+      check "rates in range" true
+        (List.for_all
+           (fun x -> x >= 0. && x <= 1.)
+           [ s.raw_error_rate; s.masked_error_rate; s.logged_rate; s.indicator_rate ]);
+      check "logged implies raw" true (s.logged_rate <= s.raw_error_rate +. 1e-9))
+    samples
+
+let test_monitor_fresh_is_clean () =
+  let net = Suite.load "C432" in
+  let m = Masking.Synthesis.synthesize net in
+  match Masking.Monitor.aging_sweep ~trials:300 ~factors:[ 1.0 ] m with
+  | [ s ] ->
+    check "no errors at nominal delays" true (s.Masking.Monitor.raw_error_rate = 0.);
+    check "no masked errors at nominal delays" true
+      (s.Masking.Monitor.masked_error_rate = 0.)
+  | _ -> Alcotest.fail "one sample expected"
+
+let test_monitor_masks_moderate_aging () =
+  (* Within the protected band (degradation <= ~10% over the clock), the
+     masked outputs stay clean while raw errors appear. *)
+  let net = Suite.load "i1" in
+  let m = Masking.Synthesis.synthesize net in
+  let samples =
+    Masking.Monitor.aging_sweep ~trials:600 ~factors:[ 1.2; 1.3 ] m
+  in
+  let total_raw =
+    List.fold_left (fun acc (s : Masking.Monitor.sample) -> acc +. s.raw_error_rate) 0. samples
+  in
+  let total_masked =
+    List.fold_left
+      (fun acc (s : Masking.Monitor.sample) -> acc +. s.masked_error_rate)
+      0. samples
+  in
+  check "aging produces raw errors" true (total_raw > 0.);
+  check "masking removes them" true (total_masked = 0.)
+
+let test_trace_buffer () =
+  let net = Suite.load "C432" in
+  let m = Masking.Synthesis.synthesize net in
+  let r = Masking.Trace_buffer.selective_capture ~buffer_size:64 ~cycles:50_000 m in
+  check "expansion >= 1" true (r.Masking.Trace_buffer.expansion >= 1.);
+  check "window bounded by cycles" true
+    (r.Masking.Trace_buffer.selective_window <= r.Masking.Trace_buffer.cycles_simulated);
+  check "captures bounded by buffer" true
+    (r.Masking.Trace_buffer.captures <= r.Masking.Trace_buffer.buffer_size);
+  (* Deterministic in the seed. *)
+  let r2 = Masking.Trace_buffer.selective_capture ~buffer_size:64 ~cycles:50_000 m in
+  check "deterministic" true (r = r2)
+
+let test_trace_buffer_sparse_is_better () =
+  (* The sparser the SPCF, the larger the expansion. frg1's indicator
+     rate is low; expansion should be substantial. *)
+  let net = Suite.load "frg1" in
+  let m = Masking.Synthesis.synthesize net in
+  let r = Masking.Trace_buffer.selective_capture ~buffer_size:32 ~cycles:100_000 m in
+  check "large expansion" true (r.Masking.Trace_buffer.expansion > 2.)
+
+let () =
+  Alcotest.run "applications"
+    [
+      ( "wearout-monitor",
+        [
+          Alcotest.test_case "consistency" `Slow test_monitor_consistency;
+          Alcotest.test_case "fresh silicon clean" `Quick test_monitor_fresh_is_clean;
+          Alcotest.test_case "masks moderate aging" `Slow test_monitor_masks_moderate_aging;
+        ] );
+      ( "trace-buffer",
+        [
+          Alcotest.test_case "selective capture" `Quick test_trace_buffer;
+          Alcotest.test_case "sparse SPCF expands more" `Quick
+            test_trace_buffer_sparse_is_better;
+        ] );
+    ]

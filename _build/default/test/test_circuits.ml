@@ -1,0 +1,146 @@
+(* Tests for the benchmark suite and the synthetic circuit generator:
+   interface conformance to the paper's Tables 1-2, determinism, BDD
+   tractability, and timing-structure properties. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_suite_io_counts () =
+  List.iter
+    (fun e ->
+      let net = Suite.network e in
+      check_int
+        (e.Suite.ename ^ " inputs")
+        e.Suite.params.Generator.n_pi
+        (Array.length (Network.inputs net));
+      check_int
+        (e.Suite.ename ^ " outputs")
+        e.Suite.params.Generator.n_po
+        (Array.length (Network.outputs net)))
+    Suite.all
+
+let test_suite_names () =
+  check_int "20 circuits" 20 (List.length Suite.all);
+  check_int "5 table-1 circuits" 5 (List.length Suite.table1_entries);
+  check "find works" true ((Suite.find "C432").Suite.ename = "C432");
+  check "find rejects unknown" true
+    (try
+       ignore (Suite.find "nope");
+       false
+     with Invalid_argument _ -> true)
+
+let test_generator_determinism () =
+  let e = Suite.find "C880" in
+  let a = Suite.network e and b = Suite.network e in
+  check "same seed, same circuit" true (Network.equivalent a b);
+  let p = { e.Suite.params with seed = e.Suite.params.seed + 1 } in
+  let c = Generator.generate p in
+  (* Different seeds virtually never coincide. *)
+  check "different seed, different circuit" false (Network.equivalent a c)
+
+let test_generator_gate_counts () =
+  (* Mapped gate counts land in the same ballpark as the paper's. Small
+     benchmarks carry a fixed overhead for the deliberate near-critical
+     chains (see DESIGN.md), hence the additive allowance. *)
+  List.iter
+    (fun e ->
+      let mc = Mapper.map (Suite.network e) in
+      let g = float_of_int (Mapped.gate_count mc) in
+      let p = float_of_int e.Suite.paper_gates in
+      check
+        (Printf.sprintf "%s gates %.0f vs paper %.0f" e.Suite.ename g p)
+        true
+        (g > 0.25 *. p && g < (3.0 *. p) +. 80.))
+    Suite.all
+
+let test_generator_bdd_tractable () =
+  (* The structural invariant: every suite circuit elaborates to BDDs in
+     bounded node counts (no exponential blowup), even the 882-input one. *)
+  List.iter
+    (fun name ->
+      let net = Suite.load name in
+      let man, _ = Network.to_bdds net in
+      check (name ^ " bdd bounded") true (Bdd.num_nodes man < 300_000))
+    [ "sparc_ifu_ifqdp"; "sparc_exu_ecl"; "C2670"; "k2"; "apex6" ]
+
+let test_generator_no_dangling () =
+  (* All generated logic is reachable from the outputs. *)
+  List.iter
+    (fun name ->
+      let net = Suite.load name in
+      let outs = Array.to_list (Network.output_signals net) in
+      let cone = Network.cone net outs in
+      let dead = ref 0 in
+      Array.iter
+        (fun s -> if (not cone.(s)) && not (Network.is_input net s) then incr dead)
+        (Network.topo_order net);
+      check_int (name ^ " dead nodes") 0 !dead)
+    [ "i1"; "C432"; "C2670"; "lsu_stb_ctl" ]
+
+let test_generator_speed_paths_sensitizable () =
+  (* The design property that makes the suite useful for this paper:
+     every circuit has a non-empty exact SPCF at 0.9 delta. *)
+  List.iter
+    (fun name ->
+      let net = Suite.load name in
+      let mc = Mapper.map net in
+      let ctx = Spcf.Ctx.create mc in
+      let r = Spcf.Exact.short_path ctx ~target:(Spcf.Ctx.target_of_theta ctx 0.9) in
+      check (name ^ " has critical outputs") true (r.Spcf.Ctx.outputs <> []);
+      check (name ^ " nonempty SPCF") true (r.Spcf.Ctx.union <> Bdd.bfalse))
+    [ "i1"; "cmb"; "x2"; "cu"; "C432"; "C880"; "C2670"; "sparc_ifu_invctl"; "frg1" ]
+
+let test_comparator_structure () =
+  let net = Comparator.network () in
+  check_int "4 inputs" 4 (Array.length (Network.inputs net));
+  check_int "7 nodes" 7 (Network.num_nodes net);
+  (* y = (a1a0 >= b1b0) semantics. *)
+  for i = 0 to 15 do
+    let a0 = i land 1 = 1 and a1 = i lsr 1 land 1 = 1 in
+    let b0 = i lsr 2 land 1 = 1 and b1 = i lsr 3 land 1 = 1 in
+    let a = (if a1 then 2 else 0) + if a0 then 1 else 0 in
+    let b = (if b1 then 2 else 0) + if b0 then 1 else 0 in
+    let out = Network.eval_outputs net [| a0; a1; b0; b1 |] in
+    check "comparator semantics" true (out.(0) = (a >= b))
+  done
+
+let test_rng_determinism () =
+  let a = Util.Rng.create 7 and b = Util.Rng.create 7 in
+  for _ = 1 to 100 do
+    check "stream equal" true (Util.Rng.int a 1000 = Util.Rng.int b 1000)
+  done;
+  let c = Util.Rng.create 8 in
+  let diffs = ref 0 in
+  for _ = 1 to 100 do
+    if Util.Rng.int a 1000 <> Util.Rng.int c 1000 then incr diffs
+  done;
+  check "different seed differs" true (!diffs > 50);
+  (* float range *)
+  let r = Util.Rng.create 9 in
+  for _ = 1 to 1000 do
+    let f = Util.Rng.float r in
+    check "float in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let () =
+  Alcotest.run "circuits"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "io counts" `Slow test_suite_io_counts;
+          Alcotest.test_case "names" `Quick test_suite_names;
+          Alcotest.test_case "gate counts" `Slow test_generator_gate_counts;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "determinism" `Quick test_generator_determinism;
+          Alcotest.test_case "bdd tractable" `Slow test_generator_bdd_tractable;
+          Alcotest.test_case "no dangling logic" `Quick test_generator_no_dangling;
+          Alcotest.test_case "sensitizable speed paths" `Slow
+            test_generator_speed_paths_sensitizable;
+        ] );
+      ( "comparator",
+        [ Alcotest.test_case "structure + semantics" `Quick test_comparator_structure ]
+      );
+      ("rng", [ Alcotest.test_case "determinism" `Quick test_rng_determinism ]);
+    ]

@@ -1,0 +1,115 @@
+(* Tests for the extension modules: the Razor detection baseline, the
+   DVS sweep, and telescopic (variable-latency) units. *)
+
+let check = Alcotest.(check bool)
+
+let synth name = Masking.Synthesis.synthesize (Suite.load name)
+
+let test_razor_consistency () =
+  let m = synth "i1" in
+  let cs = Masking.Razor.compare_schemes ~trials:200 ~factors:[ 1.0; 1.1; 1.25 ] m in
+  List.iter
+    (fun (c : Masking.Razor.comparison) ->
+      let s = c.Masking.Razor.razor in
+      check "rates are probabilities" true
+        (List.for_all
+           (fun x -> x >= 0. && x <= 1.)
+           [ c.raw_error_rate; s.escaped_rate; s.repair_rate; s.throughput ]);
+      (* Escapes + detected repairs bound the raw errors from above:
+         every raw error is either detected or escaped. *)
+      check "raw <= escapes + repairs" true
+        (c.raw_error_rate <= s.escaped_rate +. s.repair_rate +. 1e-9);
+      (* Detection costs throughput whenever it fires. *)
+      check "throughput <= 1" true (s.throughput <= 1.);
+      if s.repair_rate > 0. then check "repairs cost throughput" true (s.throughput < 1.);
+      (* Masking never pays throughput. *)
+      check "masking full throughput" true (c.masking.throughput = 1.))
+    cs
+
+let test_razor_nominal_clean () =
+  let m = synth "C432" in
+  match Masking.Razor.compare_schemes ~trials:150 ~factors:[ 1.0 ] m with
+  | [ c ] ->
+    check "no raw errors fresh" true (c.Masking.Razor.raw_error_rate = 0.);
+    check "no escapes fresh" true (c.Masking.Razor.razor.escaped_rate = 0.)
+  | _ -> Alcotest.fail "one comparison expected"
+
+let test_razor_masking_in_band () =
+  (* In the protected band the masked outputs never err. *)
+  let m = synth "i1" in
+  let cs = Masking.Razor.compare_schemes ~trials:300 ~factors:[ 1.05; 1.1 ] m in
+  List.iter
+    (fun (c : Masking.Razor.comparison) ->
+      check "masking escapes nothing in band" true
+        (c.Masking.Razor.masking.escaped_rate = 0.))
+    cs
+
+let test_dvs_monotone_energy () =
+  let m = synth "cmb" in
+  let samples = Masking.Dvs.sweep ~trials:100 m in
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+      check "voltage decreasing" true
+        (b.Masking.Dvs.voltage < a.Masking.Dvs.voltage);
+      check "energy decreasing" true (b.Masking.Dvs.energy < a.Masking.Dvs.energy);
+      pairs rest
+    | _ -> ()
+  in
+  pairs samples;
+  (* At nominal voltage nothing fails. *)
+  (match samples with
+  | first :: _ ->
+    check "nominal clean" true (first.Masking.Dvs.raw_error_rate = 0.)
+  | [] -> Alcotest.fail "no samples");
+  check "energy model" true (Masking.Dvs.energy_of 0.9 = 0.81);
+  check "delay model" true (abs_float (Masking.Dvs.delay_factor 0.8 -. 1.25) < 1e-9)
+
+let test_dvs_masking_extends_range () =
+  (* Whenever raw errors appear, the masked outputs fail no more often. *)
+  let m = synth "i1" in
+  let samples = Masking.Dvs.sweep ~trials:300 m in
+  List.iter
+    (fun (s : Masking.Dvs.sample) ->
+      check "masked <= raw" true
+        (s.Masking.Dvs.masked_error_rate <= s.Masking.Dvs.raw_error_rate +. 1e-9))
+    samples
+
+let test_telescopic () =
+  List.iter
+    (fun name ->
+      let m = synth name in
+      let r = Masking.Telescopic.analyze m in
+      check (name ^ ": fast clock below slow") true
+        (r.Masking.Telescopic.fast_clock < r.Masking.Telescopic.slow_clock);
+      check (name ^ ": hold prob in [0,1]") true
+        (r.Masking.Telescopic.hold_probability >= 0.
+        && r.Masking.Telescopic.hold_probability <= 1.);
+      (* The hold function contains the exact SPCF. *)
+      check (name ^ ": hold >= exact") true
+        (r.Masking.Telescopic.hold_probability
+        >= r.Masking.Telescopic.hold_exact_probability -. 1e-9);
+      check (name ^ ": latency = 1 + P(hold)") true
+        (abs_float
+           (r.Masking.Telescopic.expected_latency_cycles
+           -. (1. +. r.Masking.Telescopic.hold_probability))
+        < 1e-9);
+      check (name ^ ": hold validated") true
+        (Masking.Telescopic.validate ~samples:400 m))
+    [ "i1"; "cmb"; "C432" ]
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "razor-baseline",
+        [
+          Alcotest.test_case "consistency" `Slow test_razor_consistency;
+          Alcotest.test_case "nominal clean" `Quick test_razor_nominal_clean;
+          Alcotest.test_case "masking in band" `Slow test_razor_masking_in_band;
+        ] );
+      ( "dvs",
+        [
+          Alcotest.test_case "monotone energy" `Quick test_dvs_monotone_energy;
+          Alcotest.test_case "masking extends range" `Slow test_dvs_masking_extends_range;
+        ] );
+      ("telescopic", [ Alcotest.test_case "reports + validation" `Slow test_telescopic ]);
+    ]

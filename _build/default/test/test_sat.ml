@@ -1,0 +1,129 @@
+(* Tests for the DPLL solver and the SAT miter, including cross-checks
+   of the BDD-based equivalence and masking verification results. *)
+
+let check = Alcotest.(check bool)
+
+let test_dpll_basic () =
+  let s = Dpll.create 2 in
+  Dpll.add_clause s [ Dpll.pos 0; Dpll.pos 1 ];
+  Dpll.add_clause s [ Dpll.neg 0 ];
+  (match Dpll.solve s with
+  | Dpll.Sat m ->
+    check "x0 false" false m.(0);
+    check "x1 true" true m.(1)
+  | Dpll.Unsat -> Alcotest.fail "satisfiable");
+  let u = Dpll.create 1 in
+  Dpll.add_clause u [ Dpll.pos 0 ];
+  Dpll.add_clause u [ Dpll.neg 0 ];
+  check "contradiction unsat" false (Dpll.is_satisfiable u)
+
+let test_dpll_pigeonhole () =
+  (* 3 pigeons, 2 holes: classic small UNSAT instance. p(i,h) = var. *)
+  let v i h = (i * 2) + h in
+  let s = Dpll.create 6 in
+  for i = 0 to 2 do
+    Dpll.add_clause s [ Dpll.pos (v i 0); Dpll.pos (v i 1) ]
+  done;
+  for h = 0 to 1 do
+    for i = 0 to 2 do
+      for j = i + 1 to 2 do
+        Dpll.add_clause s [ Dpll.neg (v i h); Dpll.neg (v j h) ]
+      done
+    done
+  done;
+  check "pigeonhole unsat" false (Dpll.is_satisfiable s)
+
+let test_dpll_random_vs_enumeration () =
+  (* Random 3-CNF over 8 vars: DPLL verdict must match enumeration. *)
+  let rng = Util.Rng.create 13 in
+  for _ = 1 to 50 do
+    let nvars = 8 in
+    let nclauses = 4 + Util.Rng.int rng 30 in
+    let clauses =
+      List.init nclauses (fun _ ->
+          List.init 3 (fun _ ->
+              let v = Util.Rng.int rng nvars in
+              if Util.Rng.bool rng then Dpll.pos v else Dpll.neg v))
+    in
+    let s = Dpll.create nvars in
+    List.iter (Dpll.add_clause s) clauses;
+    let brute =
+      List.exists
+        (fun i ->
+          let env v = i lsr v land 1 = 1 in
+          List.for_all
+            (fun clause ->
+              List.exists
+                (fun l ->
+                  let value = env (Dpll.var_of l) in
+                  if Dpll.is_neg l then not value else value)
+                clause)
+            clauses)
+        (List.init (1 lsl nvars) (fun i -> i))
+    in
+    check "dpll = enumeration" brute (Dpll.is_satisfiable s)
+  done
+
+let test_miter_agrees_with_bdd () =
+  (* SAT miter and BDD equivalence agree on optimized copies. The
+     benchmark circuits contain XOR chains, whose miters are Tseitin
+     formulas — exponential for DPLL without clause learning — so the
+     cross-check runs on the smallest circuit plus the comparator. *)
+  List.iter
+    (fun (name, net) ->
+      let opt = Netopt.optimize net in
+      check (name ^ ": sat says equivalent") true (Tseitin.equivalent net opt);
+      check (name ^ ": agrees with bdd") true
+        (Tseitin.equivalent net opt = Network.equivalent net opt))
+    [ ("cmb", Suite.load "cmb"); ("comparator", Comparator.network ()) ]
+
+let test_miter_detects_difference () =
+  (* Build two tiny networks differing in one gate. *)
+  let vars = [| "x"; "y" |] in
+  let build func =
+    let net = Network.create () in
+    let a = Network.add_input net "a" in
+    let b = Network.add_input net "b" in
+    let z = Network.add_node net "z" ~fanins:[| a; b |] ~func in
+    Network.mark_output net ~name:"z" z;
+    net
+  in
+  let and_net = build (Logic2.Sop.parse ~vars "x*y") in
+  let or_net = build (Logic2.Sop.parse ~vars "x + y") in
+  let and_net2 = build (Logic2.Sop.parse ~vars "x*y") in
+  check "same function equivalent" true (Tseitin.equivalent and_net and_net2);
+  check "different function detected" false (Tseitin.equivalent and_net or_net)
+
+let test_masking_equivalence_by_sat () =
+  (* The flagship cross-check: the masked circuit is equivalent to the
+     original under an engine that shares nothing with the BDD verifier. *)
+  List.iter
+    (fun name ->
+      let net = Suite.load name in
+      let m = Masking.Synthesis.synthesize net in
+      let combined = Mapped.network m.Masking.Synthesis.combined in
+      (* Restrict the combined circuit to the original output set. *)
+      let restricted = Network.extract_cone combined (
+        Array.to_list (Network.outputs net) |> List.map fst)
+      in
+      check (name ^ ": sat equivalence of masked circuit") true
+        (Tseitin.equivalent net restricted))
+    [ "cmb" ]
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "dpll",
+        [
+          Alcotest.test_case "basics" `Quick test_dpll_basic;
+          Alcotest.test_case "pigeonhole" `Quick test_dpll_pigeonhole;
+          Alcotest.test_case "random vs enumeration" `Quick test_dpll_random_vs_enumeration;
+        ] );
+      ( "miter",
+        [
+          Alcotest.test_case "agrees with bdd" `Slow test_miter_agrees_with_bdd;
+          Alcotest.test_case "detects difference" `Quick test_miter_detects_difference;
+          Alcotest.test_case "masked circuit equivalence" `Slow
+            test_masking_equivalence_by_sat;
+        ] );
+    ]

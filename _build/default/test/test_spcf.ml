@@ -1,0 +1,199 @@
+(* Tests for SPCF computation: the paper's worked example, brute-force
+   cross-validation of the floating-mode semantics on small circuits,
+   and the algebraic relations between the three algorithms. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- Fig. 2 comparator ---------- *)
+
+let test_comparator_exact () =
+  let mc = Comparator.mapped () in
+  let ctx = Spcf.Ctx.create ~model:Sta.Paper_units mc in
+  check "delta" true (Spcf.Ctx.delta ctx = Comparator.paper_delta);
+  let r = Spcf.Exact.short_path ctx ~target:Comparator.paper_target in
+  check_int "one critical output" 1 (Spcf.Ctx.num_critical_outputs r);
+  let expected = Bdd.of_cover ctx.Spcf.Ctx.man Comparator.paper_spcf in
+  check "sigma = !a1 + !a0 b1" true (r.Spcf.Ctx.union = expected);
+  check "count = 10" true
+    (Extfloat.equal (Spcf.Ctx.count ctx r) (Extfloat.of_float 10.));
+  (* Path-based agrees; node-based over-approximates. *)
+  let rp = Spcf.Exact.path_based ctx ~target:Comparator.paper_target in
+  check "path = short" true (rp.Spcf.Ctx.union = r.Spcf.Ctx.union);
+  let rn = Spcf.Node_based.compute ctx ~target:Comparator.paper_target in
+  check "node superset" true
+    (Bdd.bimply ctx.Spcf.Ctx.man r.Spcf.Ctx.union rn.Spcf.Ctx.union = Bdd.btrue)
+
+(* ---------- Brute-force cross-validation ---------- *)
+
+(* For small circuits, enumerate every input pattern, compute its exact
+   floating-mode arrival with [pattern_arrivals], and compare membership
+   in Σ_y with the BDD produced by the algorithms. *)
+let brute_force_check name net theta =
+  let mc = Mapper.map net in
+  let ctx = Spcf.Ctx.create mc in
+  let target = Spcf.Ctx.target_of_theta ctx theta in
+  let target_units = Spcf.Ctx.units_of_target target in
+  let r = Spcf.Exact.short_path ctx ~target in
+  let rn = Spcf.Node_based.compute ctx ~target in
+  let n_in = Array.length (Network.inputs (Mapped.network mc)) in
+  Alcotest.(check bool) (name ^ " small enough") true (n_in <= 16);
+  let mapped_outputs = Network.outputs (Mapped.network mc) in
+  for i = 0 to (1 lsl n_in) - 1 do
+    let pattern = Array.init n_in (fun v -> i lsr v land 1 = 1) in
+    let _, arrival = Spcf.Exact.pattern_arrivals ctx pattern in
+    List.iter
+      (fun (po_name, y, sigma) ->
+        let late = arrival.(y) > target_units in
+        let in_sigma = Bdd.eval ctx.Spcf.Ctx.man sigma pattern in
+        if late <> in_sigma then
+          Alcotest.failf "%s %s pattern %d: late=%b but sigma=%b" name po_name i
+            late in_sigma;
+        (* Node-based must contain every late pattern. *)
+        (match
+           List.find_opt (fun (n, _, _) -> n = po_name) rn.Spcf.Ctx.outputs
+         with
+        | Some (_, _, sigma_n) ->
+          if late && not (Bdd.eval ctx.Spcf.Ctx.man sigma_n pattern) then
+            Alcotest.failf "%s %s pattern %d: late but not in node-based SPCF"
+              name po_name i
+        | None -> if late then Alcotest.failf "%s: missing node-based output" name))
+      r.Spcf.Ctx.outputs;
+    (* Outputs that are NOT critical must never be late. *)
+    Array.iter
+      (fun (po_name, y) ->
+        if not (List.exists (fun (n, _, _) -> n = po_name) r.Spcf.Ctx.outputs)
+        then if arrival.(y) > target_units then
+          Alcotest.failf "%s %s pattern %d: late at non-critical output" name
+            po_name i)
+      mapped_outputs
+  done
+
+let test_brute_force_comparator () =
+  let net = Comparator.network () in
+  let mc = Mapper.map net in
+  let ctx = Spcf.Ctx.create ~model:Sta.Paper_units mc in
+  let target_units = Spcf.Ctx.units_of_target Comparator.paper_target in
+  let r = Spcf.Exact.short_path ctx ~target:Comparator.paper_target in
+  let _, y, sigma = List.hd r.Spcf.Ctx.outputs in
+  for i = 0 to 15 do
+    let pattern = Array.init 4 (fun v -> i lsr v land 1 = 1) in
+    let _, arrival = Spcf.Exact.pattern_arrivals ctx pattern in
+    check "membership matches floating arrival" true
+      (arrival.(y) > target_units = Bdd.eval ctx.Spcf.Ctx.man sigma pattern)
+  done
+
+let small_suite = [ "cmb"; "x2"; "cu"; "alu2" ]
+
+let test_brute_force_small () =
+  List.iter (fun name -> brute_force_check name (Suite.load name) 0.9) small_suite
+
+let test_brute_force_other_theta () =
+  List.iter
+    (fun name -> brute_force_check (name ^ "@0.8") (Suite.load name) 0.8)
+    [ "cmb"; "x2" ]
+
+(* ---------- Algebraic relations on larger circuits ---------- *)
+
+let relation_circuits = [ "i1"; "C432"; "C880"; "sparc_ifu_invctl"; "C2670" ]
+
+let test_relations () =
+  List.iter
+    (fun name ->
+      let net = Suite.load name in
+      let mc = Mapper.map net in
+      let ctx = Spcf.Ctx.create mc in
+      let target = Spcf.Ctx.target_of_theta ctx 0.9 in
+      let rs = Spcf.Exact.short_path ctx ~target in
+      let rp = Spcf.Exact.path_based ctx ~target in
+      let rn = Spcf.Node_based.compute ctx ~target in
+      check (name ^ ": path = short") true (rp.Spcf.Ctx.union = rs.Spcf.Ctx.union);
+      check (name ^ ": node superset") true
+        (Bdd.bimply ctx.Spcf.Ctx.man rs.Spcf.Ctx.union rn.Spcf.Ctx.union
+        = Bdd.btrue);
+      (* Same critical outputs on all algorithms. *)
+      let names r = List.map (fun (n, _, _) -> n) r.Spcf.Ctx.outputs in
+      check (name ^ ": same outputs") true (names rs = names rn && names rs = names rp))
+    relation_circuits
+
+let test_monotone_in_target () =
+  (* A larger target admits fewer speed-path patterns: Σ(t2) ⊆ Σ(t1) for
+     t1 <= t2. *)
+  let net = Suite.load "C432" in
+  let mc = Mapper.map net in
+  let ctx = Spcf.Ctx.create mc in
+  let delta = Spcf.Ctx.delta ctx in
+  let at theta =
+    (Spcf.Exact.short_path ctx ~target:(theta *. delta)).Spcf.Ctx.union
+  in
+  let s80 = at 0.8 and s90 = at 0.9 and s95 = at 0.95 in
+  check "0.9 within 0.8" true (Bdd.bimply ctx.Spcf.Ctx.man s90 s80 = Bdd.btrue);
+  check "0.95 within 0.9" true (Bdd.bimply ctx.Spcf.Ctx.man s95 s90 = Bdd.btrue)
+
+let test_floating_delay_bounds () =
+  List.iter
+    (fun name ->
+      let net = Suite.load name in
+      let mc = Mapper.map net in
+      let ctx = Spcf.Ctx.create mc in
+      Array.iter
+        (fun (_, y) ->
+          let fd = Spcf.Exact.floating_delay ctx y in
+          check (name ^ ": floating <= structural") true
+            (fd <= Sta.arrival ctx.Spcf.Ctx.sta y +. 1e-9))
+        (Network.outputs (Mapped.network mc)))
+    [ "cmb"; "x2"; "C432" ]
+
+let test_floating_delay_exactness () =
+  (* floating delay of the comparator's critical output is exactly 7 *)
+  let mc = Comparator.mapped () in
+  let ctx = Spcf.Ctx.create ~model:Sta.Paper_units mc in
+  let _, y = (Network.outputs (Mapped.network mc)).(0) in
+  check "comparator floating = 7" true
+    (abs_float (Spcf.Exact.floating_delay ctx y -. 7.0) < 1e-9)
+
+let test_empty_spcf_above_delta () =
+  (* Nothing is slower than the critical path itself. *)
+  let net = Suite.load "i1" in
+  let mc = Mapper.map net in
+  let ctx = Spcf.Ctx.create mc in
+  let r = Spcf.Exact.short_path ctx ~target:(Spcf.Ctx.delta ctx) in
+  check "no critical outputs at delta" true (r.Spcf.Ctx.outputs = [])
+
+let test_runtime_reported () =
+  let net = Suite.load "C432" in
+  let mc = Mapper.map net in
+  let ctx = Spcf.Ctx.create mc in
+  let r = Spcf.Exact.short_path ctx ~target:(Spcf.Ctx.target_of_theta ctx 0.9) in
+  check "runtime nonnegative" true (r.Spcf.Ctx.runtime >= 0.);
+  check "algorithm label" true (r.Spcf.Ctx.algorithm = "short-path-based")
+
+let test_units () =
+  check_int "0.35 -> 35" 35 (Spcf.Ctx.units_of_delay 0.35);
+  check_int "6.3 -> 630" 630 (Spcf.Ctx.units_of_target 6.3);
+  check_int "floor semantics" 629 (Spcf.Ctx.units_of_target 6.2999)
+
+let () =
+  Alcotest.run "spcf"
+    [
+      ( "comparator",
+        [
+          Alcotest.test_case "paper SPCF" `Quick test_comparator_exact;
+          Alcotest.test_case "brute force" `Quick test_brute_force_comparator;
+        ] );
+      ( "brute-force",
+        [
+          Alcotest.test_case "small circuits @0.9" `Slow test_brute_force_small;
+          Alcotest.test_case "small circuits @0.8" `Slow test_brute_force_other_theta;
+        ] );
+      ( "relations",
+        [
+          Alcotest.test_case "node ⊇ path = short" `Slow test_relations;
+          Alcotest.test_case "monotone in target" `Quick test_monotone_in_target;
+          Alcotest.test_case "floating bounds" `Quick test_floating_delay_bounds;
+          Alcotest.test_case "floating exactness" `Quick test_floating_delay_exactness;
+          Alcotest.test_case "empty above delta" `Quick test_empty_spcf_above_delta;
+          Alcotest.test_case "runtime reported" `Quick test_runtime_reported;
+          Alcotest.test_case "time units" `Quick test_units;
+        ] );
+    ]
