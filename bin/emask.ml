@@ -5,12 +5,18 @@
      spcf      compute speed-path characteristic functions
      protect   synthesize + verify an error-masking circuit
      wearout   aging sweep with the timing simulator
-     trace     trace-buffer window expansion report *)
+     trace     trace-buffer window expansion report
+
+   Every subcommand accepts --stats (print the instrumentation report:
+   span tree, counters, histograms) and --stats-json FILE (write the
+   same data as JSON). EMASK_OBS=1 in the environment enables the
+   report without a flag. *)
 
 open Cmdliner
 
 let load_circuit spec =
-  if Sys.file_exists spec then Blif.parse_file spec else Suite.load spec
+  Obs.with_span "load" (fun () ->
+      if Sys.file_exists spec then Blif.parse_file spec else Suite.load spec)
 
 let circuit_arg =
   let doc = "Benchmark name (see $(b,emask list)) or path to a BLIF file." in
@@ -25,21 +31,47 @@ let algorithm_arg =
   let algo_conv = Arg.enum [ ("short", `Short); ("path", `Path); ("node", `Node) ] in
   Arg.(value & opt algo_conv `Short & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
 
-let list_cmd =
-  let run () =
-    Printf.printf "%-18s %8s %8s %8s\n" "name" "inputs" "outputs" "paper-gates";
-    List.iter
-      (fun e ->
-        Printf.printf "%-18s %8d %8d %8d\n" e.Suite.ename e.Suite.params.Generator.n_pi
-          e.Suite.params.Generator.n_po e.Suite.paper_gates)
-      Suite.all
-  in
-  Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark suite")
-    Term.(const run $ const ())
+(* --- instrumentation plumbing ------------------------------------------ *)
 
-let spcf_run spec theta algo =
+let stats_arg =
+  let doc = "Print the instrumentation report (span tree, counters, histograms)." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let stats_json_arg =
+  let doc = "Write the instrumentation report as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
+let obs_term = Term.(const (fun s j -> (s, j)) $ stats_arg $ stats_json_arg)
+
+(* Run [f] under a root span; afterwards print and/or dump the registry.
+   With neither flag nor EMASK_OBS set, collection stays disabled and
+   output is exactly the uninstrumented CLI's. *)
+let with_obs (stats, json) name f =
+  if stats || json <> None then Obs.set_enabled true;
+  let r = Obs.with_span ("emask." ^ name) f in
+  (match json with Some path -> Obs_json.write_file path | None -> ());
+  if Obs.on () then Obs_report.print stdout;
+  r
+
+(* --- subcommands -------------------------------------------------------- *)
+
+let list_run obs =
+  with_obs obs "list" @@ fun () ->
+  Printf.printf "%-18s %8s %8s %8s\n" "name" "inputs" "outputs" "paper-gates";
+  List.iter
+    (fun e ->
+      Printf.printf "%-18s %8d %8d %8d\n" e.Suite.ename e.Suite.params.Generator.n_pi
+        e.Suite.params.Generator.n_po e.Suite.paper_gates)
+    Suite.all
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark suite")
+    Term.(const list_run $ obs_term)
+
+let spcf_run obs spec theta algo =
+  with_obs obs "spcf" @@ fun () ->
   let net = load_circuit spec in
-  let mc = Mapper.map net in
+  let mc = Obs.with_span "map" (fun () -> Mapper.map net) in
   let ctx = Spcf.Ctx.create mc in
   let target = Spcf.Ctx.target_of_theta ctx theta in
   let r =
@@ -65,9 +97,10 @@ let spcf_run spec theta algo =
 let spcf_cmd =
   Cmd.v
     (Cmd.info "spcf" ~doc:"Compute the speed-path characteristic function")
-    Term.(const spcf_run $ circuit_arg $ theta_arg $ algorithm_arg)
+    Term.(const spcf_run $ obs_term $ circuit_arg $ theta_arg $ algorithm_arg)
 
-let protect_run spec theta out =
+let protect_run obs spec theta out =
+  with_obs obs "protect" @@ fun () ->
   let net = load_circuit spec in
   let options = { Masking.Synthesis.default_options with theta } in
   let m = Masking.Synthesis.synthesize ~options net in
@@ -88,12 +121,15 @@ let out_arg =
 let protect_cmd =
   Cmd.v
     (Cmd.info "protect" ~doc:"Synthesize and verify an error-masking circuit")
-    Term.(const protect_run $ circuit_arg $ theta_arg $ out_arg)
+    Term.(const protect_run $ obs_term $ circuit_arg $ theta_arg $ out_arg)
 
-let wearout_run spec trials =
+let wearout_run obs spec trials =
+  with_obs obs "wearout" @@ fun () ->
   let net = load_circuit spec in
   let m = Masking.Synthesis.synthesize net in
-  let samples = Masking.Monitor.aging_sweep ~trials m in
+  let samples =
+    Obs.with_span "aging-sweep" (fun () -> Masking.Monitor.aging_sweep ~trials m)
+  in
   List.iter (fun s -> Format.printf "%a@." Masking.Monitor.pp_sample s) samples
 
 let trials_arg =
@@ -103,12 +139,16 @@ let trials_arg =
 let wearout_cmd =
   Cmd.v
     (Cmd.info "wearout" ~doc:"Aging sweep: raw vs masked vs logged error rates")
-    Term.(const wearout_run $ circuit_arg $ trials_arg)
+    Term.(const wearout_run $ obs_term $ circuit_arg $ trials_arg)
 
-let trace_run spec buffer cycles =
+let trace_run obs spec buffer cycles =
+  with_obs obs "trace" @@ fun () ->
   let net = load_circuit spec in
   let m = Masking.Synthesis.synthesize net in
-  let r = Masking.Trace_buffer.selective_capture ~buffer_size:buffer ~cycles m in
+  let r =
+    Obs.with_span "selective-capture" (fun () ->
+        Masking.Trace_buffer.selective_capture ~buffer_size:buffer ~cycles m)
+  in
   Format.printf "%a@." Masking.Trace_buffer.pp r
 
 let buffer_arg =
@@ -120,7 +160,7 @@ let cycles_arg =
 let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc:"Trace-buffer window expansion via selective capture")
-    Term.(const trace_run $ circuit_arg $ buffer_arg $ cycles_arg)
+    Term.(const trace_run $ obs_term $ circuit_arg $ buffer_arg $ cycles_arg)
 
 let () =
   let info =

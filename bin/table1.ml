@@ -1,7 +1,12 @@
 (* Regenerates the paper's Table 1: accuracy vs. runtime of the SPCF
    computation — node-based over-approximation [22], the exact path-based
    extension of [22], and the proposed short-path-based algorithm — on
-   the five Table-1 circuits, at a target arrival time of 0.9 Δ. *)
+   the five Table-1 circuits, at a target arrival time of 0.9 Δ.
+
+   With `--stats-json FILE` (or EMASK_OBS=1 plus the flag), a JSON
+   sidecar of per-circuit / per-algorithm internal statistics (span
+   tree, BDD and recursion counters, histograms) is written alongside
+   the table — diffable against BENCH_*.json trajectories. *)
 
 let line = String.make 118 '-'
 
@@ -18,26 +23,38 @@ type row = {
   exactness : string;
 }
 
-let run_row entry =
+(* When collecting stats, each algorithm run is isolated in a fresh
+   registry so the sidecar attributes every counter to one run. *)
+let snapshot_after ~collect f =
+  if collect then begin
+    Obs.reset ();
+    let r = f () in
+    (r, Some (Obs_json.snapshot ()))
+  end
+  else (f (), None)
+
+let run_row ~collect entry =
   let name = entry.Suite.ename in
   let net = Suite.network entry in
   (* Fresh context per algorithm: shared BDD managers would warm the
      caches of whichever algorithm runs later. *)
   let run algo =
-    let mc = Mapper.map net in
-    let ctx = Spcf.Ctx.create mc in
-    let target = Spcf.Ctx.target_of_theta ctx 0.9 in
-    let r =
-      match algo with
-      | `Node -> Spcf.Node_based.compute ctx ~target
-      | `Path -> Spcf.Exact.path_based ctx ~target
-      | `Short -> Spcf.Exact.short_path ctx ~target
-    in
-    (ctx, r)
+    snapshot_after ~collect (fun () ->
+        let mc = Mapper.map net in
+        let ctx = Spcf.Ctx.create mc in
+        let target = Spcf.Ctx.target_of_theta ctx 0.9 in
+        let r =
+          match algo with
+          | `Node -> Spcf.Node_based.compute ctx ~target
+          | `Path -> Spcf.Exact.path_based ctx ~target
+          | `Short -> Spcf.Exact.short_path ctx ~target
+        in
+        (ctx, r))
   in
-  let cn, rn = run `Node in
-  let cp, rp = run `Path in
-  let cs, rs = run `Short in
+  let (cn, rn), stats_n = run `Node in
+  let (cp, rp), stats_p = run `Path in
+  let (cs, rs), stats_s = run `Short in
+  if collect then Obs.reset ();
   let mc = Mapper.map net in
   let count c r = Extfloat.to_string (Spcf.Ctx.count c r) in
   (* Exactness cross-checks (computed on one shared manager). *)
@@ -59,20 +76,38 @@ let run_row entry =
       (Array.length (Network.inputs net))
       (Array.length (Network.outputs net))
   in
-  {
-    name;
-    io;
-    area = Mapped.area mc;
-    node_count = count cn rn;
-    node_rt = rn.Spcf.Ctx.runtime;
-    path_count = count cp rp;
-    path_rt = rp.Spcf.Ctx.runtime;
-    short_count = count cs rs;
-    short_rt = rs.Spcf.Ctx.runtime;
-    exactness;
-  }
+  let stats =
+    List.filter_map
+      (fun (algo, s) -> Option.map (fun j -> (algo, j)) s)
+      [ ("node-based", stats_n); ("path-based", stats_p); ("short-path", stats_s) ]
+  in
+  ( {
+      name;
+      io;
+      area = Mapped.area mc;
+      node_count = count cn rn;
+      node_rt = rn.Spcf.Ctx.runtime;
+      path_count = count cp rp;
+      path_rt = rp.Spcf.Ctx.runtime;
+      short_count = count cs rs;
+      short_rt = rs.Spcf.Ctx.runtime;
+      exactness;
+    },
+    stats )
+
+let stats_json_path () =
+  let rec scan i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--stats-json" && i + 1 < Array.length Sys.argv then
+      Some Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
 
 let () =
+  let sidecar = stats_json_path () in
+  if sidecar <> None then Obs.set_enabled true;
+  let collect = Obs.on () in
   Printf.printf "Table 1: accuracy vs. runtime of SPCF computation (target = 0.9 x critical path delay)\n";
   Printf.printf "%s\n" line;
   Printf.printf "%-18s %-9s %-7s | %-12s %-8s | %-12s %-8s | %-12s %-8s | %s\n"
@@ -81,9 +116,12 @@ let () =
   Printf.printf "%-18s %-9s %-7s | %-12s %-8s | %-12s %-8s | %-12s %-8s |\n" "" ""
     "" "(overapprox)" "" "(exact)" "" "(proposed)" "";
   Printf.printf "%s\n" line;
+  let all_stats = ref [] in
   List.iter
     (fun entry ->
-      let r = run_row entry in
+      let r, stats = run_row ~collect entry in
+      if stats <> [] then
+        all_stats := (r.name, Obs_json.Obj stats) :: !all_stats;
       Printf.printf "%-18s %-9s %-7.0f | %-12s %-8.3f | %-12s %-8.3f | %-12s %-8.3f | %s\n%!"
         r.name r.io r.area r.node_count r.node_rt r.path_count r.path_rt
         r.short_count r.short_rt r.exactness)
@@ -92,4 +130,13 @@ let () =
   Printf.printf
     "Shape targets (paper): node-based counts are a superset of the exact sets;\n\
      path-based and short-path agree exactly; the proposed short-path algorithm\n\
-     runs in node-based-class time while the path-based extension is slower.\n"
+     runs in node-based-class time while the path-based extension is slower.\n";
+  match sidecar with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Obs_json.to_channel oc
+      (Obs_json.Obj [ ("table1", Obs_json.Obj (List.rev !all_stats)) ]);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "per-algorithm stats written to %s\n" path

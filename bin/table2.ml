@@ -4,7 +4,22 @@
 
 let line = String.make 112 '-'
 
+(* `--stats-json FILE` writes a per-circuit JSON sidecar of the
+   synthesis/verification internals (spans, counters, histograms). *)
+let stats_json_path () =
+  let rec scan i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--stats-json" && i + 1 < Array.length Sys.argv then
+      Some Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
+
 let () =
+  let sidecar = stats_json_path () in
+  if sidecar <> None then Obs.set_enabled true;
+  let collect = Obs.on () in
+  let all_stats = ref [] in
   Printf.printf
     "Table 2: area and power overhead for 100%% masking of timing errors on speed-paths\n";
   Printf.printf "%s\n" line;
@@ -17,8 +32,11 @@ let () =
   List.iter
     (fun entry ->
       let net = Suite.network entry in
+      if collect then Obs.reset ();
       let m = Masking.Synthesis.synthesize net in
       let r = Masking.Verify.check m in
+      if collect then
+        all_stats := (entry.Suite.ename, Obs_json.snapshot ()) :: !all_stats;
       let ok =
         r.Masking.Verify.equivalent && r.Masking.Verify.coverage_ok
         && r.Masking.Verify.prediction_ok
@@ -43,4 +61,13 @@ let () =
     "" "" "" (avg !slacks) (avg !areas) (avg !powers);
   Printf.printf
     "\nShape targets (paper): 100%% coverage on every circuit; average slack 57%%;\n\
-     average area (power) overhead 18%% (16%%); ~20%% of outputs critical.\n"
+     average area (power) overhead 18%% (16%%); ~20%% of outputs critical.\n";
+  match sidecar with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Obs_json.to_channel oc
+      (Obs_json.Obj [ ("table2", Obs_json.Obj (List.rev !all_stats)) ]);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "per-circuit stats written to %s\n" path

@@ -17,6 +17,15 @@ type man = {
 let bfalse : t = 0
 let btrue : t = 1
 
+(* Instrumentation probes (free when Obs is disabled). *)
+let c_ite_calls = Obs.counter "bdd.ite.calls"
+let c_ite_hits = Obs.counter "bdd.ite.cache_hits"
+let c_ite_misses = Obs.counter "bdd.ite.cache_misses"
+let c_unique_hits = Obs.counter "bdd.unique.hits"
+let c_unique_inserts = Obs.counter "bdd.unique.inserts"
+let c_grow = Obs.counter "bdd.grow_events"
+let c_nodes_max = Obs.counter "bdd.nodes.max"
+
 let create ~nvars () =
   if nvars < 0 then invalid_arg "Bdd.create: negative nvars";
   let cap = 1024 in
@@ -42,6 +51,7 @@ let high_of man n = man.high.(n)
 let is_terminal n = n < 2
 
 let grow man =
+  Obs.incr c_grow;
   let cap = Array.length man.var in
   let cap' = cap * 2 in
   let extend a = Array.init cap' (fun i -> if i < cap then a.(i) else 0) in
@@ -54,14 +64,18 @@ let mk man v lo hi =
   else
     let key = (v, lo, hi) in
     match Hashtbl.find_opt man.unique key with
-    | Some n -> n
+    | Some n ->
+      Obs.incr c_unique_hits;
+      n
     | None ->
+      Obs.incr c_unique_inserts;
       if man.n_nodes >= Array.length man.var then grow man;
       let n = man.n_nodes in
       man.var.(n) <- v;
       man.low.(n) <- lo;
       man.high.(n) <- hi;
       man.n_nodes <- n + 1;
+      Obs.record_max c_nodes_max (n + 1);
       Hashtbl.add man.unique key n;
       n
 
@@ -82,11 +96,15 @@ let rec ite man f g h =
   else if f = bfalse then h
   else if g = h then g
   else if g = btrue && h = bfalse then f
-  else
+  else begin
+    Obs.incr c_ite_calls;
     let key = (f, g, h) in
     match Hashtbl.find_opt man.ite_cache key with
-    | Some r -> r
+    | Some r ->
+      Obs.incr c_ite_hits;
+      r
     | None ->
+      Obs.incr c_ite_misses;
       let v = min man.var.(f) (min man.var.(g) man.var.(h)) in
       let f0, f1 = cofactors man v f in
       let g0, g1 = cofactors man v g in
@@ -96,6 +114,7 @@ let rec ite man f g h =
       let r = mk man v r0 r1 in
       Hashtbl.add man.ite_cache key r;
       r
+  end
 
 let bnot man f = ite man f bfalse btrue
 let band man f g = ite man f g bfalse

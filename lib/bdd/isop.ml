@@ -4,7 +4,12 @@
    exploited to shrink the cover. Used to synthesize indicator logic
    directly from SPCF BDDs. *)
 
+let c_calls = Obs.counter "bdd.isop.calls"
+let c_memo_hits = Obs.counter "bdd.isop.memo_hits"
+let h_cover_cubes = Obs.histogram "bdd.isop.cover_cubes"
+
 let compute man ~lower ~upper =
+  Obs.enter "bdd.isop";
   let nvars = Bdd.nvars man in
   let memo : (Bdd.t * Bdd.t, (int * bool) list list * Bdd.t) Hashtbl.t =
     Hashtbl.create 256
@@ -15,9 +20,12 @@ let compute man ~lower ~upper =
     if l = Bdd.bfalse then ([], Bdd.bfalse)
     else if u = Bdd.btrue then ([ [] ], Bdd.btrue)
     else begin
+      Obs.incr c_calls;
       let key = (l, u) in
       match Hashtbl.find_opt memo key with
-      | Some r -> r
+      | Some r ->
+        Obs.incr c_memo_hits;
+        r
       | None ->
         let v = min (Bdd.var_of man l) (Bdd.var_of man u) in
         let cof f value =
@@ -57,6 +65,8 @@ let compute man ~lower ~upper =
   (* Sanity: lower ⊆ g ⊆ upper. *)
   assert (Bdd.bimply man lower g = Bdd.btrue);
   assert (Bdd.bimply man g upper = Bdd.btrue);
+  Obs.observe h_cover_cubes (List.length cubes);
+  Obs.leave ();
   Logic2.Cover.of_cubes nvars (List.map (Logic2.Cube.make nvars) cubes)
 
 let of_bdd man f = compute man ~lower:f ~upper:f

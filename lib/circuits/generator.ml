@@ -274,7 +274,7 @@ let generate p =
     List.fold_left (fun acc s -> Float.max acc (arrival0 s)) 0.01 final.members
   in
   let delta_target = delta0 *. 1.18 in
-  let debug = Sys.getenv_opt "EMASK_GEN_DEBUG" <> None in
+  let debug = Obs.debug () in
   if debug then
     Printf.eprintf "[gen %s] delta0=%.2f target=%.2f\n%!" p.name delta0 delta_target;
   (* Scale the number of deliberate near-critical chains with both the

@@ -63,7 +63,12 @@ let table1_entries = List.filter (fun e -> e.table1) all
 let find name =
   match List.find_opt (fun e -> e.ename = name) all with
   | Some e -> e
-  | None -> invalid_arg (Printf.sprintf "Suite.find: unknown benchmark %S" name)
+  | None -> (
+    (* Fall back to a case-insensitive match so e.g. "c432" finds "C432". *)
+    let fold = String.lowercase_ascii in
+    match List.find_opt (fun e -> fold e.ename = fold name) all with
+    | Some e -> e
+    | None -> invalid_arg (Printf.sprintf "Suite.find: unknown benchmark %S" name))
 
 let network e = Generator.generate e.params
 let load name = network (find name)

@@ -78,6 +78,9 @@ let run_algorithm options ctx ~target =
   | Path_based -> Spcf.Exact.path_based ctx ~target
   | Node_based -> Spcf.Node_based.compute ctx ~target
 
+let c_cubes_kept = Obs.counter "synthesis.cubes.kept"
+let c_cubes_dropped = Obs.counter "synthesis.cubes.dropped"
+
 (* Greedy essential-weight cube selection (Sec. 4.1): keep a cube iff it
    covers some Σ pattern not covered by the cubes kept before it. *)
 let select_cubes ~man ~order ~sigma ~fanin_bdds cover =
@@ -95,8 +98,12 @@ let select_cubes ~man ~order ~sigma ~fanin_bdds cover =
         let cb = Bdd.cube_with man c fanin_bdds in
         let on_sigma = Bdd.band man sigma cb in
         let fresh = Bdd.band man on_sigma (Bdd.bnot man !covered) in
-        if fresh = Bdd.bfalse then false
+        if fresh = Bdd.bfalse then begin
+          Obs.incr c_cubes_dropped;
+          false
+        end
         else begin
+          Obs.incr c_cubes_kept;
           covered := Bdd.bor man !covered on_sigma;
           true
         end)
@@ -122,8 +129,11 @@ let tautology_cover_1 =
   Logic2.Cover.of_cubes 1
     [ Logic2.Cube.make 1 [ (0, true) ]; Logic2.Cube.make 1 [ (0, false) ] ]
 
-let synthesize ?(options = default_options) net =
-  let original, smap = Mapper.map_with_signals ~style:options.map_style net in
+let synthesize_body options net =
+  let original, smap =
+    Obs.with_span "map" (fun () ->
+        Mapper.map_with_signals ~style:options.map_style net)
+  in
   let ctx = Spcf.Ctx.create ~model:options.delay_model original in
   let delta = Spcf.Ctx.delta ctx in
   let target = options.theta *. delta in
@@ -145,6 +155,7 @@ let synthesize ?(options = default_options) net =
   let nsig = Network.num_signals net in
   let sigma_node = Array.make nsig Bdd.bfalse in
   let in_any_cone = Array.make nsig false in
+  Obs.enter "care-sets";
   let cones =
     List.map
       (fun (name, s, sigma) ->
@@ -159,7 +170,9 @@ let synthesize ?(options = default_options) net =
         (name, s, sigma, cone))
       critical
   in
+  Obs.leave ();
   (* Build T̃. *)
+  Obs.enter "simplify";
   let tnet = Network.create () in
   let ntilde = Array.make nsig (-1) in
   Array.iter
@@ -199,9 +212,11 @@ let synthesize ?(options = default_options) net =
         end
       | Some _ | None -> ())
     (Network.topo_order net);
+  Obs.leave ();
   (* Prediction BDDs, for the direct indicator's correctness region. *)
   let tnet_funcs = lazy (bdds_in_man man tnet) in
   let t_inputs = Network.inputs tnet in
+  Obs.enter "indicators";
   let outputs_meta =
     List.map
       (fun (name, s, sigma, cone) ->
@@ -263,6 +278,7 @@ let synthesize ?(options = default_options) net =
         (name, s, sigma))
       cones
   in
+  Obs.leave ();
   (* A flat two-level variant: per critical output, synthesize the
      prediction directly as an interval ISOP (any G with Σ∧y ⊆ G ⊆ y∨¬Σ
      predicts y on Σ) and the indicator likewise. Mapped as balanced
@@ -270,6 +286,7 @@ let synthesize ?(options = default_options) net =
      where the structural network cannot simplify. Skipped when a cover
      explodes. *)
   let flat_variant () =
+    Obs.with_span "flat-variant" @@ fun () ->
     try
       let tf = Network.create () in
       Array.iter
@@ -326,6 +343,7 @@ let synthesize ?(options = default_options) net =
      preference goes to variants meeting the 20% slack requirement with
      the smallest area, falling back to the shallowest. *)
   let gentle = { Netopt.max_sub_cubes = 2; max_result_cubes = 5; passes = 3 } in
+  Obs.enter "optimize+map";
   let candidates =
     if options.optimize then begin
       let base = [ Netopt.optimize ~limits:gentle ~collapse:false tnet ] in
@@ -358,7 +376,9 @@ let synthesize ?(options = default_options) net =
         (fun (bn, bm) (n, mc) -> if score mc < score bm then (n, mc) else (bn, bm))
         first rest
   in
+  Obs.leave ();
   (* Combined circuit: C, C̃ and the output muxes. *)
+  Obs.enter "combine";
   let combined = Mapped.create () in
   Array.iter
     (fun s -> ignore (Mapped.add_input combined (Network.name_of net s)))
@@ -407,6 +427,7 @@ let synthesize ?(options = default_options) net =
           :: !per_output
       | None -> Mapped.mark_output combined ~name y_cmb)
     orig_outputs;
+  Obs.leave ();
   {
     source = net;
     original;
@@ -420,3 +441,6 @@ let synthesize ?(options = default_options) net =
     target;
     delta;
   }
+
+let synthesize ?(options = default_options) net =
+  Obs.with_span "synthesis" (fun () -> synthesize_body options net)

@@ -25,15 +25,23 @@ type report = {
   power_overhead_pct : float;
 }
 
+let c_outputs_checked = Obs.counter "verify.outputs_checked"
+let c_power_rounds = Obs.counter "verify.power_rounds"
+
 let check ?(power_rounds = 128) (m : Synthesis.t) =
+  Obs.with_span "verify" @@ fun () ->
   let ctx = m.Synthesis.ctx in
   let man = ctx.Spcf.Ctx.man in
   (* Elaborate the combined circuit in the SPCF manager: input names and
      order match the original network's by construction. *)
   let cnet = Mapped.network m.Synthesis.combined in
-  let cf = Synthesis.bdds_in_man man cnet in
+  let cf, of_ =
+    Obs.with_span "elaborate" (fun () ->
+        let cf = Synthesis.bdds_in_man man cnet in
+        let of_ = Synthesis.bdds_in_man man (Mapped.network m.Synthesis.original) in
+        (cf, of_))
+  in
   let onet = Mapped.network m.Synthesis.original in
-  let of_ = Synthesis.bdds_in_man man onet in
   let orig_out name =
     match Array.find_opt (fun (n, _) -> n = name) (Network.outputs onet) with
     | Some (_, s) -> of_.(s)
@@ -41,6 +49,7 @@ let check ?(power_rounds = 128) (m : Synthesis.t) =
   in
   (* Equivalence over every original output. *)
   let equivalent =
+    Obs.with_span "equivalence" @@ fun () ->
     Array.for_all
       (fun (name, s) ->
         match String.index_opt name '_' with
@@ -52,8 +61,10 @@ let check ?(power_rounds = 128) (m : Synthesis.t) =
   (* Coverage and prediction checks per critical output. *)
   let coverage_ok = ref true and prediction_ok = ref true in
   let covered = ref Extfloat.zero and total = ref Extfloat.zero in
+  Obs.enter "coverage";
   List.iter
     (fun (po : Synthesis.per_output) ->
+      Obs.incr c_outputs_checked;
       let e = cf.(po.Synthesis.e_combined) in
       let y = cf.(po.Synthesis.y_combined) in
       let yt = cf.(po.Synthesis.ytilde_combined) in
@@ -64,11 +75,13 @@ let check ?(power_rounds = 128) (m : Synthesis.t) =
       covered := Extfloat.add !covered (Bdd.satcount man (Bdd.band man sigma e));
       total := Extfloat.add !total (Bdd.satcount man sigma))
     m.Synthesis.per_output;
+  Obs.leave ();
   let coverage_pct =
     if Extfloat.is_zero !total then 100.
     else 100. *. Extfloat.to_float (Extfloat.div !covered !total)
   in
   (* Timing. *)
+  Obs.enter "timing";
   let model = m.Synthesis.options.Synthesis.delay_model in
   let delta_original = m.Synthesis.delta in
   let sta_mask = Sta.analyze ~model m.Synthesis.masking in
@@ -76,12 +89,16 @@ let check ?(power_rounds = 128) (m : Synthesis.t) =
   let slack_pct = 100. *. (delta_original -. delta_masking) /. delta_original in
   let sta_combined = Sta.analyze ~model m.Synthesis.combined in
   let mux_delay_impact = Sta.delta sta_combined -. delta_original in
+  Obs.leave ();
   (* Area and power. *)
   let area_original = Mapped.area m.Synthesis.original in
   let area_total = Mapped.area m.Synthesis.combined in
   let area_overhead_pct = 100. *. (area_total -. area_original) /. area_original in
+  Obs.enter "power";
+  Obs.add c_power_rounds (2 * power_rounds);
   let power_original = Power.total ~rounds:power_rounds m.Synthesis.original in
   let power_total = Power.total ~rounds:power_rounds m.Synthesis.combined in
+  Obs.leave ();
   let power_overhead_pct = 100. *. (power_total -. power_original) /. power_original in
   {
     equivalent;

@@ -1,0 +1,223 @@
+(* Global instrumentation registry. Single-threaded by design, like the
+   rest of the repository: no locks, plain mutable state.
+
+   The zero-cost-when-disabled discipline: every recording entry point
+   ([incr], [add], [observe], [enter], ...) is a tiny wrapper that
+   branches on [on_flag] and tail-calls the real implementation, so the
+   disabled path is one load + one conditional and never allocates.
+   Registration of counters/histograms happens lazily on the first
+   recording, which keeps the registry empty after a disabled run. *)
+
+let on_flag = ref false
+let on () = !on_flag
+let set_enabled b = on_flag := b
+
+let () =
+  match Sys.getenv_opt "EMASK_OBS" with
+  | None | Some "" | Some "0" -> ()
+  | Some _ -> on_flag := true
+
+let debug_flag =
+  let set v = match v with None | Some "" | Some "0" -> false | Some _ -> true in
+  set (Sys.getenv_opt "EMASK_OBS_DEBUG") || set (Sys.getenv_opt "EMASK_GEN_DEBUG")
+
+let debug () = debug_flag
+
+(* Wall clock, one code path for all timing. gettimeofday is the best
+   clock available without external bindings; the resolution (~1us) is
+   far below the spans we measure. *)
+let now () = Unix.gettimeofday ()
+
+(* --- counters ---------------------------------------------------------- *)
+
+type counter = { cname : string; mutable count : int; mutable cregistered : bool }
+
+let all_counters : counter list ref = ref [] (* reverse first-use order *)
+let counter cname = { cname; count = 0; cregistered = false }
+
+let register_counter c =
+  if not c.cregistered then begin
+    c.cregistered <- true;
+    all_counters := c :: !all_counters
+  end
+
+let add_slow c n =
+  register_counter c;
+  c.count <- c.count + n
+
+let[@inline] incr c = if !on_flag then add_slow c 1
+let[@inline] add c n = if !on_flag then add_slow c n
+
+let record_max_slow c n =
+  register_counter c;
+  if n > c.count then c.count <- n
+
+let[@inline] record_max c n = if !on_flag then record_max_slow c n
+let counter_value c = c.count
+
+(* --- histograms -------------------------------------------------------- *)
+
+(* Bucket 0 holds sample 0; bucket i >= 1 holds [2^(i-1), 2^i). 64
+   buckets cover the whole nonnegative int range. *)
+type histogram = {
+  hname : string;
+  mutable hregistered : bool;
+  mutable n : int;
+  mutable sum : int;
+  mutable max : int;
+  buckets : int array;
+}
+
+type hist_stats = {
+  hn : int;
+  hsum : int;
+  hmax : int;
+  hbuckets : (int * int) list;
+}
+
+let all_histograms : histogram list ref = ref []
+
+let histogram hname =
+  { hname; hregistered = false; n = 0; sum = 0; max = 0; buckets = Array.make 64 0 }
+
+let bucket_index v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 1 and v = ref v in
+    while !v > 1 do
+      v := !v lsr 1;
+      Stdlib.incr i
+    done;
+    !i
+  end
+
+let bucket_lower i = if i = 0 then 0 else 1 lsl (i - 1)
+
+let observe_slow h v =
+  if not h.hregistered then begin
+    h.hregistered <- true;
+    all_histograms := h :: !all_histograms
+  end;
+  let v = Stdlib.max 0 v in
+  h.n <- h.n + 1;
+  h.sum <- h.sum + v;
+  if v > h.max then h.max <- v;
+  let i = bucket_index v in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+let[@inline] observe h v = if !on_flag then observe_slow h v
+
+let histogram_stats h =
+  let hbuckets = ref [] in
+  for i = Array.length h.buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then hbuckets := (bucket_lower i, h.buckets.(i)) :: !hbuckets
+  done;
+  { hn = h.n; hsum = h.sum; hmax = h.max; hbuckets = !hbuckets }
+
+(* --- spans ------------------------------------------------------------- *)
+
+type span = {
+  sname : string;
+  mutable calls : int;
+  mutable total : float;
+  mutable children : span list;
+  mutable live : int;
+  mutable started : float;
+}
+
+let make_span sname =
+  { sname; calls = 0; total = 0.; children = []; live = 0; started = 0. }
+
+let root_span = ref (make_span "root")
+let stack : span list ref = ref []
+
+let root () = !root_span
+
+let child_of parent name =
+  let rec find = function
+    | [] ->
+      let s = make_span name in
+      parent.children <- s :: parent.children;
+      s
+    | s :: rest -> if s.sname = name then s else find rest
+  in
+  find parent.children
+
+let enter_slow name =
+  (* Recursive re-entry: if a span with this name is already open on the
+     stack, accumulate into it instead of growing a same-name chain;
+     only its outermost activation contributes wall time. *)
+  let rec open_ancestor = function
+    | [] -> None
+    | s :: rest -> if s.sname = name then Some s else open_ancestor rest
+  in
+  let s =
+    match open_ancestor !stack with
+    | Some s -> s
+    | None ->
+      let parent = match !stack with s :: _ -> s | [] -> !root_span in
+      child_of parent name
+  in
+  s.calls <- s.calls + 1;
+  if s.live = 0 then s.started <- now ();
+  s.live <- s.live + 1;
+  stack := s :: !stack
+
+let[@inline] enter name = if !on_flag then enter_slow name
+
+let leave_slow () =
+  match !stack with
+  | [] -> () (* unmatched leave (e.g. enabled mid-run): ignore *)
+  | s :: rest ->
+    stack := rest;
+    s.live <- s.live - 1;
+    if s.live = 0 then s.total <- s.total +. (now () -. s.started)
+
+let[@inline] leave () = if !on_flag then leave_slow ()
+
+let with_span name f =
+  if not !on_flag then f ()
+  else begin
+    enter_slow name;
+    Fun.protect ~finally:leave_slow f
+  end
+
+let timed name f =
+  let t0 = now () in
+  let finish () = now () -. t0 in
+  if not !on_flag then begin
+    let r = f () in
+    (r, finish ())
+  end
+  else begin
+    enter_slow name;
+    let r = Fun.protect ~finally:leave_slow f in
+    (r, finish ())
+  end
+
+(* --- registry ---------------------------------------------------------- *)
+
+let registered_counters () =
+  List.rev_map (fun c -> (c.cname, c.count)) !all_counters
+
+let registered_histograms () =
+  List.rev_map (fun h -> (h.hname, histogram_stats h)) !all_histograms
+
+let reset () =
+  List.iter
+    (fun c ->
+      c.count <- 0;
+      c.cregistered <- false)
+    !all_counters;
+  all_counters := [];
+  List.iter
+    (fun h ->
+      h.hregistered <- false;
+      h.n <- 0;
+      h.sum <- 0;
+      h.max <- 0;
+      Array.fill h.buckets 0 (Array.length h.buckets) 0)
+    !all_histograms;
+  all_histograms := [];
+  root_span := make_span "root";
+  stack := []

@@ -1,0 +1,107 @@
+(** Lightweight instrumentation: hierarchical spans, counters and
+    log-bucketed histograms, behind one global on/off switch.
+
+    Probes are designed to be free when observation is disabled: every
+    recording entry point first branches on a single mutable bool and
+    returns immediately, without allocating or touching the registry.
+    Counters and histograms are created eagerly (usually at module
+    initialisation) but only *register* themselves on their first
+    recording while enabled — so after a disabled run the registry is
+    exactly empty.
+
+    Enabled either programmatically ([set_enabled true]) or by setting
+    the environment variable [EMASK_OBS] to anything but ["0"] or the
+    empty string. *)
+
+val on : unit -> bool
+(** Is observation currently enabled? *)
+
+val set_enabled : bool -> unit
+
+val debug : unit -> bool
+(** Debug-print toggle for ad-hoc tracing ([EMASK_OBS_DEBUG]; the
+    legacy [EMASK_GEN_DEBUG] is honoured for compatibility). Distinct
+    from [on]: statistics collection does not imply stderr chatter. *)
+
+val now : unit -> float
+(** The clock used by every span and by [timed], in seconds. One code
+    path for all timing, so CLI-reported runtimes and span totals
+    agree. *)
+
+(** {2 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Create a counter. Cheap; does not register until first use. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val record_max : counter -> int -> unit
+(** High-water-mark gauge: keep the largest value seen. *)
+
+val counter_value : counter -> int
+
+(** {2 Histograms} *)
+
+type histogram
+
+val histogram : string -> histogram
+
+val observe : histogram -> int -> unit
+(** Record a non-negative sample into log2 buckets: bucket 0 holds 0,
+    bucket [i >= 1] holds values in [[2^(i-1), 2^i)]. *)
+
+type hist_stats = {
+  hn : int;  (** number of samples *)
+  hsum : int;
+  hmax : int;
+  hbuckets : (int * int) list;  (** (bucket lower bound, count), nonzero only *)
+}
+
+val histogram_stats : histogram -> hist_stats
+
+(** {2 Spans}
+
+    A span is a node in a tree keyed by name under its parent; entering
+    the same name under the same parent accumulates into one node.
+    Re-entrant (recursive) entries are counted as calls but only the
+    outermost activation contributes wall time. *)
+
+type span = {
+  sname : string;
+  mutable calls : int;
+  mutable total : float;  (** accumulated seconds over closed activations *)
+  mutable children : span list;  (** most recently created first *)
+  mutable live : int;  (** currently-open activations (recursion depth) *)
+  mutable started : float;  (** start of the outermost open activation *)
+}
+
+val enter : string -> unit
+val leave : unit -> unit
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [enter]/[leave] around a thunk, exception-safe. When disabled the
+    thunk runs directly. *)
+
+val timed : string -> (unit -> 'a) -> 'a * float
+(** Like [with_span] but always measures and returns the elapsed
+    seconds, even when observation is disabled — for results (such as
+    algorithm runtimes) that are part of normal output. *)
+
+(** {2 Registry} *)
+
+val root : unit -> span
+(** The root of the span tree. Its [total] is meaningless; reporters
+    show its children. *)
+
+val registered_counters : unit -> (string * int) list
+(** Counters touched while enabled, in first-use order. *)
+
+val registered_histograms : unit -> (string * hist_stats) list
+
+val reset : unit -> unit
+(** Clear the span tree, zero and de-register every counter and
+    histogram, and drop any open span stack. Does not change the
+    enabled flag. *)

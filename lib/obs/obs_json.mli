@@ -1,0 +1,31 @@
+(** A minimal JSON value type with a printer and a parser (enough for
+    round-trip tests and for diffing stats sidecars against the
+    [BENCH_*.json] trajectories), plus a serializer for the whole
+    instrumentation registry. No external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_channel : out_channel -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Strict parser: the whole input must be one JSON value (surrounding
+    whitespace allowed). Numbers without [.], [e] or [E] parse as
+    [Int]. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] otherwise. *)
+
+val snapshot : unit -> t
+(** The full registry: span tree (with per-node total/self seconds and
+    call counts), counters, histograms. *)
+
+val write_file : string -> unit
+(** [snapshot] pretty-printed to a file. *)

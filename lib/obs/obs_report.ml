@@ -1,0 +1,53 @@
+(* Tree reporter. Children are stored most-recent-first; we print them
+   in creation order, which follows program phase order and so reads as
+   a timeline. *)
+
+let self_time (s : Obs.span) =
+  let child_total =
+    List.fold_left (fun acc (c : Obs.span) -> acc +. c.Obs.total) 0. s.Obs.children
+  in
+  Float.max 0. (s.Obs.total -. child_total)
+
+let rec pp_span fmt ~indent (s : Obs.span) =
+  Format.fprintf fmt "%s%-*s total %8.3fms  self %8.3fms  calls %d@,"
+    (String.make indent ' ')
+    (Stdlib.max 1 (42 - indent))
+    s.Obs.sname (1e3 *. s.Obs.total)
+    (1e3 *. self_time s)
+    s.Obs.calls;
+  List.iter (pp_span fmt ~indent:(indent + 2)) (List.rev s.Obs.children)
+
+let pp_histogram fmt (name, (st : Obs.hist_stats)) =
+  let mean = if st.Obs.hn = 0 then 0. else float_of_int st.Obs.hsum /. float_of_int st.Obs.hn in
+  Format.fprintf fmt "  %-40s n %-8d max %-8d mean %.1f  " name st.Obs.hn st.Obs.hmax mean;
+  List.iter
+    (fun (lo, count) -> Format.fprintf fmt "[>=%d:%d]" lo count)
+    st.Obs.hbuckets;
+  Format.fprintf fmt "@,"
+
+let pp fmt () =
+  let r = Obs.root () in
+  Format.fprintf fmt "@[<v>";
+  if r.Obs.children <> [] then begin
+    Format.fprintf fmt "== spans ==@,";
+    List.iter (pp_span fmt ~indent:2) (List.rev r.Obs.children)
+  end;
+  (match Obs.registered_counters () with
+  | [] -> ()
+  | counters ->
+    Format.fprintf fmt "== counters ==@,";
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "  %-40s %d@," name v)
+      counters);
+  (match Obs.registered_histograms () with
+  | [] -> ()
+  | hists ->
+    Format.fprintf fmt "== histograms ==@,";
+    List.iter (pp_histogram fmt) hists);
+  Format.fprintf fmt "@]"
+
+let to_string () = Format.asprintf "%a" pp ()
+
+let print oc =
+  let fmt = Format.formatter_of_out_channel oc in
+  Format.fprintf fmt "%a@." pp ()

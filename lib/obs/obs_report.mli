@@ -1,0 +1,10 @@
+(** Human-readable rendering of the instrumentation registry: the span
+    tree (total / self time, call counts), then counters, then
+    histograms. Sections with nothing recorded are omitted. *)
+
+val self_time : Obs.span -> float
+(** [total] minus the children's totals, clamped at zero. *)
+
+val pp : Format.formatter -> unit -> unit
+val print : out_channel -> unit
+val to_string : unit -> string

@@ -18,6 +18,13 @@ let negate l = l lxor 1
 
 type result = Sat of bool array | Unsat
 
+let c_solves = Obs.counter "sat.dpll.solves"
+let c_decisions = Obs.counter "sat.dpll.decisions"
+let c_propagations = Obs.counter "sat.dpll.propagations"
+let c_conflicts = Obs.counter "sat.dpll.conflicts"
+let c_max_level = Obs.counter "sat.dpll.max_decision_level"
+let h_decision_level = Obs.histogram "sat.dpll.decision_level"
+
 type t = {
   nvars : int;
   mutable clauses : literal array list;
@@ -35,6 +42,8 @@ let add_clause t lits =
 exception Found of bool array
 
 let solve t =
+  Obs.enter "sat.dpll.solve";
+  Obs.incr c_solves;
   let clauses = Array.of_list t.clauses in
   (* 0 = unassigned, 1 = true, -1 = false *)
   let value = Array.make t.nvars 0 in
@@ -74,9 +83,13 @@ let solve t =
               | _ -> ())
             clause;
           if !satisfied then true
-          else if !n_unassigned = 0 then false
+          else if !n_unassigned = 0 then begin
+            Obs.incr c_conflicts;
+            false
+          end
           else begin
             if !n_unassigned = 1 then begin
+              Obs.incr c_propagations;
               assign !unassigned;
               changed := true
             end;
@@ -86,23 +99,30 @@ let solve t =
     in
     if not ok then false else if !changed then propagate () else true
   in
-  let rec decide () =
+  let rec decide level =
     let rec next v = if v >= t.nvars then -1 else if value.(v) = 0 then v else next (v + 1) in
     let v = next 0 in
     if v < 0 then raise (Found (Array.map (fun x -> x = 1) value))
     else begin
+      Obs.incr c_decisions;
+      Obs.observe h_decision_level level;
+      Obs.record_max c_max_level level;
       let mark = !trail_len in
       assign (pos v);
-      if propagate () then decide ();
+      if propagate () then decide (level + 1);
       undo_to mark;
       assign (neg v);
-      if propagate () then decide ();
+      if propagate () then decide (level + 1);
       undo_to mark
     end
   in
-  try
-    if propagate () then decide ();
-    Unsat
-  with Found model -> Sat model
+  let r =
+    try
+      if propagate () then decide 1;
+      Unsat
+    with Found model -> Sat model
+  in
+  Obs.leave ();
+  r
 
 let is_satisfiable t = match solve t with Sat _ -> true | Unsat -> false

@@ -25,9 +25,17 @@ let units_of_delay d = int_of_float (Float.round (d /. grid))
    a signal stabilizing at lattice time a is within target iff a <= t. *)
 let units_of_target target = int_of_float (Float.floor ((target /. grid) +. 1e-6))
 
+let c_primes_hits = Obs.counter "spcf.primes.cache_hits"
+let c_primes_computed = Obs.counter "spcf.primes.computed"
+let h_primes_cubes = Obs.histogram "spcf.primes.cover_cubes"
+
 let create ?(model = Sta.Library) circuit =
-  let sta = Sta.analyze ~model circuit in
-  let man, funcs = Network.to_bdds (Mapped.network circuit) in
+  Obs.enter "spcf.ctx.create";
+  let sta = Obs.with_span "sta.analyze" (fun () -> Sta.analyze ~model circuit) in
+  let man, funcs =
+    Obs.with_span "network.to_bdds" (fun () ->
+        Network.to_bdds (Mapped.network circuit))
+  in
   let delays = Sta.gate_delays model circuit in
   let delay_units = Array.map units_of_delay delays in
   let net = Mapped.network circuit in
@@ -43,6 +51,7 @@ let create ?(model = Sta.Library) circuit =
         in
         arrival_units.(s) <- worst + delay_units.(s))
     (Network.topo_order net);
+  Obs.leave ();
   {
     circuit;
     model;
@@ -62,9 +71,14 @@ let primes_of t s =
   | None -> invalid_arg "Ctx.primes_of: signal is not a gate"
   | Some cell -> (
     match Hashtbl.find_opt t.primes cell.Cell.cname with
-    | Some pair -> pair
+    | Some pair ->
+      Obs.incr c_primes_hits;
+      pair
     | None ->
+      Obs.incr c_primes_computed;
       let pair = Logic2.Primes.onset_and_offset_primes cell.Cell.logic in
+      Obs.observe h_primes_cubes
+        (Logic2.Cover.num_cubes (fst pair) + Logic2.Cover.num_cubes (snd pair));
       Hashtbl.replace t.primes cell.Cell.cname pair;
       pair)
 

@@ -32,19 +32,33 @@ let path_based_options = { arrival_shortcut = false; share_across_outputs = fals
 let value_bdd ctx s v =
   if v then ctx.Ctx.funcs.(s) else Bdd.bnot ctx.Ctx.man ctx.Ctx.funcs.(s)
 
-(* Stability S_v(s, budget) with [memo] keyed on (signal, value, budget). *)
-let rec stability ctx ~opts ~memo s v budget =
+let c_stab_calls = Obs.counter "spcf.stability.calls"
+let c_stab_memo_hits = Obs.counter "spcf.stability.memo_hits"
+let c_stab_shortcut = Obs.counter "spcf.stability.shortcut_cuts"
+let c_late_calls = Obs.counter "spcf.lateness.calls"
+let c_late_memo_hits = Obs.counter "spcf.lateness.memo_hits"
+let h_depth = Obs.histogram "spcf.recursion_depth"
+
+(* Stability S_v(s, budget) with [memo] keyed on (signal, value, budget).
+   [depth] only feeds the recursion-depth histogram. *)
+let rec stability ctx ~opts ~memo ~depth s v budget =
+  Obs.incr c_stab_calls;
   if budget < 0 then Bdd.bfalse
   else begin
     let net = Ctx.network ctx in
     if Network.is_input net s then value_bdd ctx s v
-    else if opts.arrival_shortcut && budget >= ctx.Ctx.arrival_units.(s) then
+    else if opts.arrival_shortcut && budget >= ctx.Ctx.arrival_units.(s) then begin
+      Obs.incr c_stab_shortcut;
       value_bdd ctx s v
+    end
     else begin
       let key = (s, v, budget) in
       match Hashtbl.find_opt memo key with
-      | Some r -> r
+      | Some r ->
+        Obs.incr c_stab_memo_hits;
+        r
       | None ->
+        Obs.observe h_depth depth;
         let on, off = Ctx.primes_of ctx s in
         let cover = if v then on else off in
         let d = ctx.Ctx.delay_units.(s) in
@@ -55,7 +69,8 @@ let rec stability ctx ~opts ~memo s v budget =
               if acc = Bdd.bfalse then acc
               else
                 let child =
-                  stability ctx ~opts ~memo fanins.(local) phase (budget - d)
+                  stability ctx ~opts ~memo ~depth:(depth + 1) fanins.(local)
+                    phase (budget - d)
                 in
                 Bdd.band ctx.Ctx.man acc child)
             Bdd.btrue (Logic2.Cube.literals p)
@@ -71,8 +86,14 @@ let rec stability ctx ~opts ~memo s v budget =
   end
 
 let sigma_of_output ctx ~opts ~memo y target_units =
-  let s1 = stability ctx ~opts ~memo y true target_units in
-  let s0 = stability ctx ~opts ~memo y false target_units in
+  let s1 =
+    Obs.with_span "stability" (fun () ->
+        stability ctx ~opts ~memo ~depth:0 y true target_units)
+  in
+  let s0 =
+    Obs.with_span "stability" (fun () ->
+        stability ctx ~opts ~memo ~depth:0 y false target_units)
+  in
   Bdd.bnot ctx.Ctx.man (Bdd.bor ctx.Ctx.man s0 s1)
 
 (* Long-path activation ("lateness") functions, computed directly in
@@ -85,7 +106,8 @@ let sigma_of_output ctx ~opts ~memo y target_units =
    result is identical to ¬(S₀ ∨ S₁) (checked by the test suite), but
    the conjunction-of-disjunctions expansion walks every path-suffix
    context — the cost profile of path-based traversal. *)
-let rec lateness ctx ~memo s v budget =
+let rec lateness ctx ~memo ~depth s v budget =
+  Obs.incr c_late_calls;
   let man = ctx.Ctx.man in
   let net = Ctx.network ctx in
   if budget < 0 then value_bdd ctx s v
@@ -93,8 +115,11 @@ let rec lateness ctx ~memo s v budget =
   else begin
     let key = (s, v, budget) in
     match Hashtbl.find_opt memo key with
-    | Some r -> r
+    | Some r ->
+      Obs.incr c_late_memo_hits;
+      r
     | None ->
+      Obs.observe h_depth depth;
       let on, off = Ctx.primes_of ctx s in
       let cover = if v then on else off in
       let d = ctx.Ctx.delay_units.(s) in
@@ -104,7 +129,7 @@ let rec lateness ctx ~memo s v budget =
         let input = fanins.(local) in
         Bdd.bor man
           (value_bdd ctx input (not phase))
-          (lateness ctx ~memo input phase (budget - d))
+          (lateness ctx ~memo ~depth:(depth + 1) input phase (budget - d))
       in
       let prime_blocked p =
         List.fold_left
@@ -124,23 +149,35 @@ let rec lateness ctx ~memo s v budget =
   end
 
 let sigma_of_output_lateness ctx ~memo y target_units =
-  let u1 = lateness ctx ~memo y true target_units in
-  let u0 = lateness ctx ~memo y false target_units in
+  let u1 =
+    Obs.with_span "lateness" (fun () ->
+        lateness ctx ~memo ~depth:0 y true target_units)
+  in
+  let u0 =
+    Obs.with_span "lateness" (fun () ->
+        lateness ctx ~memo ~depth:0 y false target_units)
+  in
   Bdd.bor ctx.Ctx.man u0 u1
 
+(* Runtimes are measured through [Obs.timed] — the same clock that feeds
+   the span tree — so the CLI-reported runtime and the statistics agree
+   whether or not observation is enabled. *)
 let compute ctx ~opts ~algorithm ~target =
-  let t0 = Unix.gettimeofday () in
-  let target_units = Ctx.units_of_target target in
-  let critical = Sta.critical_outputs ctx.Ctx.sta ~target in
-  let memo = Hashtbl.create 4096 in
-  let outputs =
-    Array.to_list critical
-    |> List.map (fun (name, y) ->
-           if not opts.share_across_outputs then Hashtbl.reset memo;
-           (name, y, sigma_of_output ctx ~opts ~memo y target_units))
+  let outputs, runtime =
+    Obs.timed ("spcf." ^ algorithm) (fun () ->
+        let target_units = Ctx.units_of_target target in
+        let critical = Sta.critical_outputs ctx.Ctx.sta ~target in
+        let memo = Hashtbl.create 4096 in
+        Array.to_list critical
+        |> List.map (fun (name, y) ->
+               if not opts.share_across_outputs then Hashtbl.reset memo;
+               let sigma =
+                 Obs.with_span ("output:" ^ name) (fun () ->
+                     sigma_of_output ctx ~opts ~memo y target_units)
+               in
+               (name, y, sigma)))
   in
-  Ctx.make_result ctx ~algorithm ~target outputs
-    ~runtime:(Unix.gettimeofday () -. t0)
+  Ctx.make_result ctx ~algorithm ~target outputs ~runtime
 
 let short_path ctx ~target =
   compute ctx ~opts:proposed_options ~algorithm:"short-path-based" ~target
@@ -149,17 +186,20 @@ let short_path ctx ~target =
    long-path activation functions in their direct product-of-sums form,
    without cross-output sharing or the structural-arrival shortcut. *)
 let path_based ctx ~target =
-  let t0 = Unix.gettimeofday () in
-  let target_units = Ctx.units_of_target target in
-  let critical = Sta.critical_outputs ctx.Ctx.sta ~target in
-  let outputs =
-    Array.to_list critical
-    |> List.map (fun (name, y) ->
-           let memo = Hashtbl.create 4096 in
-           (name, y, sigma_of_output_lateness ctx ~memo y target_units))
+  let outputs, runtime =
+    Obs.timed "spcf.path-based" (fun () ->
+        let target_units = Ctx.units_of_target target in
+        let critical = Sta.critical_outputs ctx.Ctx.sta ~target in
+        Array.to_list critical
+        |> List.map (fun (name, y) ->
+               let memo = Hashtbl.create 4096 in
+               let sigma =
+                 Obs.with_span ("output:" ^ name) (fun () ->
+                     sigma_of_output_lateness ctx ~memo y target_units)
+               in
+               (name, y, sigma)))
   in
-  Ctx.make_result ctx ~algorithm:"path-based" ~target outputs
-    ~runtime:(Unix.gettimeofday () -. t0)
+  Ctx.make_result ctx ~algorithm:"path-based" ~target outputs ~runtime
 
 (* Exact floating-mode delay of a signal: the largest stabilization time
    over all input patterns, found by binary search on the stability
@@ -169,8 +209,8 @@ let floating_delay ctx s =
   let man = ctx.Ctx.man in
   let stable_at t =
     let memo = Hashtbl.create 256 in
-    let s1 = stability ctx ~opts:proposed_options ~memo s true t in
-    let s0 = stability ctx ~opts:proposed_options ~memo s false t in
+    let s1 = stability ctx ~opts:proposed_options ~memo ~depth:0 s true t in
+    let s0 = stability ctx ~opts:proposed_options ~memo ~depth:0 s false t in
     Bdd.bor man s0 s1 = Bdd.btrue
   in
   (* Smallest t with all patterns stable by t. *)

@@ -14,51 +14,63 @@
    are always on time; critical pins recurse; critical primary inputs
    never witness stability — "any path through a critical gate"). *)
 
+let c_critical_gates = Obs.counter "spcf.node.critical_gates"
+
 let value_bdd ctx s v =
   if v then ctx.Ctx.funcs.(s) else Bdd.bnot ctx.Ctx.man ctx.Ctx.funcs.(s)
 
 let compute ctx ~target =
-  let t0 = Unix.gettimeofday () in
-  let net = Ctx.network ctx in
-  let n = Network.num_signals net in
-  let target_units = Ctx.units_of_target target in
-  let tail_units = Array.map Ctx.units_of_delay (Array.init n (Sta.tail ctx.Ctx.sta)) in
-  let arrival_units = ctx.Ctx.arrival_units in
-  let critical s = arrival_units.(s) + tail_units.(s) > target_units in
-  let stable = Array.make n Bdd.btrue in
-  Array.iter
-    (fun s ->
-      match Network.node_of net s with
-      | None -> if critical s then stable.(s) <- Bdd.bfalse
-      | Some nd ->
-        if critical s then begin
-          let d = ctx.Ctx.delay_units.(s) in
-          (* Pin (i -> s) lies on a structural path longer than the
-             target iff arr(i) + δ + tail(s) exceeds it. *)
-          let pin_long i = arrival_units.(i) + d + tail_units.(s) > target_units in
-          let in_time local phase =
-            let i = nd.Network.fanins.(local) in
-            let lit = value_bdd ctx i phase in
-            if pin_long i then Bdd.band ctx.Ctx.man lit stable.(i) else lit
-          in
-          let prime_term p =
-            List.fold_left
-              (fun acc (local, phase) ->
-                if acc = Bdd.bfalse then acc
-                else Bdd.band ctx.Ctx.man acc (in_time local phase))
-              Bdd.btrue (Logic2.Cube.literals p)
-          in
-          let on, off = Ctx.primes_of ctx s in
-          let all_primes = Logic2.Cover.cubes on @ Logic2.Cover.cubes off in
-          stable.(s) <-
-            List.fold_left
-              (fun acc p -> Bdd.bor ctx.Ctx.man acc (prime_term p))
-              Bdd.bfalse all_primes
-        end)
-    (Network.topo_order net);
-  let outputs =
-    Array.to_list (Sta.critical_outputs ctx.Ctx.sta ~target)
-    |> List.map (fun (name, y) -> (name, y, Bdd.bnot ctx.Ctx.man stable.(y)))
+  let outputs, runtime =
+    Obs.timed "spcf.node-based" (fun () ->
+        let net = Ctx.network ctx in
+        let n = Network.num_signals net in
+        let target_units = Ctx.units_of_target target in
+        let tail_units =
+          Array.map Ctx.units_of_delay (Array.init n (Sta.tail ctx.Ctx.sta))
+        in
+        let arrival_units = ctx.Ctx.arrival_units in
+        let critical s = arrival_units.(s) + tail_units.(s) > target_units in
+        let stable = Array.make n Bdd.btrue in
+        Obs.with_span "stability-pass" (fun () ->
+            Array.iter
+              (fun s ->
+                match Network.node_of net s with
+                | None -> if critical s then stable.(s) <- Bdd.bfalse
+                | Some nd ->
+                  if critical s then begin
+                    Obs.incr c_critical_gates;
+                    let d = ctx.Ctx.delay_units.(s) in
+                    (* Pin (i -> s) lies on a structural path longer than the
+                       target iff arr(i) + δ + tail(s) exceeds it. *)
+                    let pin_long i =
+                      arrival_units.(i) + d + tail_units.(s) > target_units
+                    in
+                    let in_time local phase =
+                      let i = nd.Network.fanins.(local) in
+                      let lit = value_bdd ctx i phase in
+                      if pin_long i then Bdd.band ctx.Ctx.man lit stable.(i) else lit
+                    in
+                    let prime_term p =
+                      List.fold_left
+                        (fun acc (local, phase) ->
+                          if acc = Bdd.bfalse then acc
+                          else Bdd.band ctx.Ctx.man acc (in_time local phase))
+                        Bdd.btrue (Logic2.Cube.literals p)
+                    in
+                    let on, off = Ctx.primes_of ctx s in
+                    let all_primes = Logic2.Cover.cubes on @ Logic2.Cover.cubes off in
+                    stable.(s) <-
+                      List.fold_left
+                        (fun acc p -> Bdd.bor ctx.Ctx.man acc (prime_term p))
+                        Bdd.bfalse all_primes
+                  end)
+              (Network.topo_order net));
+        Array.to_list (Sta.critical_outputs ctx.Ctx.sta ~target)
+        |> List.map (fun (name, y) ->
+               let sigma =
+                 Obs.with_span ("output:" ^ name) (fun () ->
+                     Bdd.bnot ctx.Ctx.man stable.(y))
+               in
+               (name, y, sigma)))
   in
-  Ctx.make_result ctx ~algorithm:"node-based" ~target outputs
-    ~runtime:(Unix.gettimeofday () -. t0)
+  Ctx.make_result ctx ~algorithm:"node-based" ~target outputs ~runtime

@@ -1,0 +1,252 @@
+(* Tests for the Obs instrumentation layer: span nesting and self-time
+   accounting, counter and histogram correctness, JSON round-trips,
+   the disabled-mode no-op guarantee, and one integration check that an
+   SPCF run actually records BDD cache activity. *)
+
+let with_obs_enabled f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let find_child (s : Obs.span) name =
+  List.find_opt (fun (c : Obs.span) -> c.Obs.sname = name) s.Obs.children
+
+let get_child s name =
+  match find_child s name with
+  | Some c -> c
+  | None -> Alcotest.failf "span %S not found under %S" name s.Obs.sname
+
+(* --- spans -------------------------------------------------------------- *)
+
+let spin seconds =
+  let t0 = Obs.now () in
+  while Obs.now () -. t0 < seconds do
+    ignore (Sys.opaque_identity (ref 0))
+  done
+
+let test_span_nesting () =
+  with_obs_enabled @@ fun () ->
+  Obs.with_span "outer" (fun () ->
+      spin 0.002;
+      Obs.with_span "inner" (fun () -> spin 0.004);
+      Obs.with_span "inner" (fun () -> spin 0.004);
+      Obs.with_span "other" (fun () -> ()));
+  let root = Obs.root () in
+  Alcotest.(check int) "one top-level span" 1 (List.length root.Obs.children);
+  let outer = get_child root "outer" in
+  Alcotest.(check int) "outer called once" 1 outer.Obs.calls;
+  Alcotest.(check int) "two distinct children" 2 (List.length outer.Obs.children);
+  let inner = get_child outer "inner" in
+  Alcotest.(check int) "inner entries accumulate" 2 inner.Obs.calls;
+  Alcotest.(check bool) "inner measured" true (inner.Obs.total >= 0.008);
+  Alcotest.(check bool) "outer >= inner" true (outer.Obs.total >= inner.Obs.total);
+  (* Self time excludes children but keeps the outer busy-loop. *)
+  let self = Obs_report.self_time outer in
+  Alcotest.(check bool) "self >= busy loop" true (self >= 0.002);
+  Alcotest.(check bool) "self excludes children" true
+    (self <= outer.Obs.total -. inner.Obs.total +. 1e-9)
+
+let test_span_recursion () =
+  with_obs_enabled @@ fun () ->
+  let rec go n = Obs.with_span "rec" (fun () -> if n > 0 then go (n - 1)) in
+  go 4;
+  let r = get_child (Obs.root ()) "rec" in
+  Alcotest.(check int) "recursive entries counted as calls" 5 r.Obs.calls;
+  (* Only the outermost activation contributes wall time, so the total
+     is a plausible duration, not 5x one. *)
+  Alcotest.(check int) "nothing left open" 0 r.Obs.live;
+  Alcotest.(check bool) "single accumulation" true (r.Obs.total < 1.)
+
+let test_span_exception_safety () =
+  with_obs_enabled @@ fun () ->
+  (try Obs.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  let b = get_child (Obs.root ()) "boom" in
+  Alcotest.(check int) "span closed on exception" 0 b.Obs.live;
+  (* The stack unwound: a new span lands at top level, not under boom. *)
+  Obs.with_span "after" (fun () -> ());
+  Alcotest.(check bool) "stack unwound" true
+    (find_child (Obs.root ()) "after" <> None)
+
+(* --- counters and histograms ------------------------------------------- *)
+
+let test_counters () =
+  with_obs_enabled @@ fun () ->
+  let c = Obs.counter "test.c" in
+  Obs.incr c;
+  Obs.incr c;
+  Obs.add c 40;
+  Alcotest.(check int) "incr/add" 42 (Obs.counter_value c);
+  let m = Obs.counter "test.max" in
+  Obs.record_max m 7;
+  Obs.record_max m 3;
+  Obs.record_max m 9;
+  Alcotest.(check int) "record_max keeps high water" 9 (Obs.counter_value m);
+  Alcotest.(check (list (pair string int)))
+    "registry in first-use order"
+    [ ("test.c", 42); ("test.max", 9) ]
+    (Obs.registered_counters ())
+
+let test_histogram () =
+  with_obs_enabled @@ fun () ->
+  let h = Obs.histogram "test.h" in
+  List.iter (Obs.observe h) [ 0; 1; 1; 2; 3; 4; 7; 8; 100 ];
+  let st = Obs.histogram_stats h in
+  Alcotest.(check int) "n" 9 st.Obs.hn;
+  Alcotest.(check int) "sum" 126 st.Obs.hsum;
+  Alcotest.(check int) "max" 100 st.Obs.hmax;
+  (* Log2 buckets: {0}, [1,2), [2,4), [4,8), [8,16), [64,128). *)
+  Alcotest.(check (list (pair int int)))
+    "buckets"
+    [ (0, 1); (1, 2); (2, 2); (4, 2); (8, 1); (64, 1) ]
+    st.Obs.hbuckets
+
+(* --- disabled mode ------------------------------------------------------ *)
+
+let test_disabled_noop () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  let c = Obs.counter "test.disabled.c" in
+  let h = Obs.histogram "test.disabled.h" in
+  Obs.incr c;
+  Obs.add c 10;
+  Obs.observe h 5;
+  Obs.with_span "test.disabled.span" (fun () -> ());
+  Obs.enter "test.disabled.enter";
+  Obs.leave ();
+  Alcotest.(check int) "counter untouched" 0 (Obs.counter_value c);
+  Alcotest.(check (list (pair string int)))
+    "no counters registered" [] (Obs.registered_counters ());
+  Alcotest.(check int)
+    "no histograms registered" 0
+    (List.length (Obs.registered_histograms ()));
+  Alcotest.(check int)
+    "no spans recorded" 0
+    (List.length (Obs.root ()).Obs.children)
+
+let test_timed_when_disabled () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  let r, dt = Obs.timed "test.timed" (fun () -> spin 0.002; 17) in
+  Alcotest.(check int) "result passes through" 17 r;
+  Alcotest.(check bool) "elapsed measured even when disabled" true (dt >= 0.002);
+  Alcotest.(check int)
+    "but no span recorded" 0
+    (List.length (Obs.root ()).Obs.children)
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs_json.Obj
+      [
+        ("name", Obs_json.String "weird \"chars\"\n\t\\ and unicode-free");
+        ("n", Obs_json.Int 42);
+        ("neg", Obs_json.Int (-7));
+        ("ok", Obs_json.Bool true);
+        ("nothing", Obs_json.Null);
+        ( "list",
+          Obs_json.List [ Obs_json.Int 1; Obs_json.Obj []; Obs_json.List [] ] );
+      ]
+  in
+  match Obs_json.of_string (Obs_json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trip equal" true (v = v')
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_json_floats () =
+  let v = Obs_json.List [ Obs_json.Float 0.125; Obs_json.Float 3.5e-3 ] in
+  match Obs_json.of_string (Obs_json.to_string v) with
+  | Ok (Obs_json.List [ Obs_json.Float a; Obs_json.Float b ]) ->
+    Alcotest.(check (float 1e-12)) "float a" 0.125 a;
+    Alcotest.(check (float 1e-12)) "float b" 3.5e-3 b
+  | Ok _ -> Alcotest.fail "floats re-parsed with wrong shape"
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_json_snapshot () =
+  with_obs_enabled @@ fun () ->
+  let c = Obs.counter "snap.c" in
+  Obs.add c 5;
+  let h = Obs.histogram "snap.h" in
+  Obs.observe h 3;
+  Obs.with_span "snap.span" (fun () -> ());
+  let j = Obs_json.snapshot () in
+  (match Obs_json.of_string (Obs_json.to_string j) with
+  | Error e -> Alcotest.failf "snapshot is not valid JSON: %s" e
+  | Ok j' -> Alcotest.(check bool) "snapshot round-trips" true (j = j'));
+  (match Obs_json.member "counters" j with
+  | Some counters ->
+    Alcotest.(check bool)
+      "counter present" true
+      (Obs_json.member "snap.c" counters = Some (Obs_json.Int 5))
+  | None -> Alcotest.fail "no counters object");
+  match Obs_json.member "spans" j with
+  | Some (Obs_json.List [ span ]) ->
+    Alcotest.(check bool)
+      "span name serialized" true
+      (Obs_json.member "name" span = Some (Obs_json.String "snap.span"))
+  | _ -> Alcotest.fail "expected exactly one top-level span"
+
+(* --- integration -------------------------------------------------------- *)
+
+let test_spcf_records_bdd_activity () =
+  with_obs_enabled @@ fun () ->
+  let net = Suite.load "cmb" in
+  let mc = Mapper.map net in
+  let ctx = Spcf.Ctx.create mc in
+  let target = Spcf.Ctx.target_of_theta ctx 0.9 in
+  let r = Spcf.Exact.short_path ctx ~target in
+  ignore (Spcf.Ctx.count ctx r);
+  let counters = Obs.registered_counters () in
+  let value name =
+    match List.assoc_opt name counters with Some v -> v | None -> 0
+  in
+  Alcotest.(check bool)
+    "nonzero BDD cache lookups" true
+    (value "bdd.ite.cache_hits" + value "bdd.ite.cache_misses" > 0);
+  Alcotest.(check bool)
+    "nonzero stability recursion" true
+    (value "spcf.stability.calls" > 0);
+  (* The span tree reaches the per-output stability computations. *)
+  let root = Obs.root () in
+  let algo = get_child root "spcf.short-path-based" in
+  match algo.Obs.children with
+  | [] -> Alcotest.fail "no per-output spans"
+  | out :: _ ->
+    Alcotest.(check bool)
+      "stability span nested under output" true
+      (find_child out "stability" <> None)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and self time" `Quick test_span_nesting;
+          Alcotest.test_case "recursion" `Quick test_span_recursion;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "disabled",
+        [
+          Alcotest.test_case "probes are no-ops" `Quick test_disabled_noop;
+          Alcotest.test_case "timed still measures" `Quick test_timed_when_disabled;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "floats" `Quick test_json_floats;
+          Alcotest.test_case "snapshot" `Quick test_json_snapshot;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "spcf run records BDD lookups" `Quick
+            test_spcf_records_bdd_activity;
+        ] );
+    ]
