@@ -31,6 +31,15 @@ let algorithm_arg =
   let algo_conv = Arg.enum [ ("short", `Short); ("path", `Path); ("node", `Node) ] in
   Arg.(value & opt algo_conv `Short & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the per-output SPCF fan-out (default: \\$(b,EMASK_JOBS), \
+     else 1 = sequential). Results are identical for every N; only runtime changes."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let resolve_jobs n = if n >= 1 then n else Spcf.Parallel.default_jobs ()
+
 (* --- instrumentation plumbing ------------------------------------------ *)
 
 let stats_arg =
@@ -68,16 +77,17 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark suite")
     Term.(const list_run $ obs_term)
 
-let spcf_run obs spec theta algo =
+let spcf_run obs spec theta algo jobs =
   with_obs obs "spcf" @@ fun () ->
+  let jobs = resolve_jobs jobs in
   let net = load_circuit spec in
   let mc = Obs.with_span "map" (fun () -> Mapper.map net) in
   let ctx = Spcf.Ctx.create mc in
   let target = Spcf.Ctx.target_of_theta ctx theta in
   let r =
     match algo with
-    | `Short -> Spcf.Exact.short_path ctx ~target
-    | `Path -> Spcf.Exact.path_based ctx ~target
+    | `Short -> Spcf.Parallel.short_path ~jobs ctx ~target
+    | `Path -> Spcf.Parallel.path_based ~jobs ctx ~target
     | `Node -> Spcf.Node_based.compute ctx ~target
   in
   Printf.printf "circuit: %s\n" spec;
@@ -97,12 +107,15 @@ let spcf_run obs spec theta algo =
 let spcf_cmd =
   Cmd.v
     (Cmd.info "spcf" ~doc:"Compute the speed-path characteristic function")
-    Term.(const spcf_run $ obs_term $ circuit_arg $ theta_arg $ algorithm_arg)
+    Term.(
+      const spcf_run $ obs_term $ circuit_arg $ theta_arg $ algorithm_arg $ jobs_arg)
 
-let protect_run obs spec theta out =
+let protect_run obs spec theta jobs out =
   with_obs obs "protect" @@ fun () ->
   let net = load_circuit spec in
-  let options = { Masking.Synthesis.default_options with theta } in
+  let options =
+    { Masking.Synthesis.default_options with theta; jobs = resolve_jobs jobs }
+  in
   let m = Masking.Synthesis.synthesize ~options net in
   let r = Masking.Verify.check m in
   Format.printf "circuit: %s@." spec;
@@ -121,7 +134,8 @@ let out_arg =
 let protect_cmd =
   Cmd.v
     (Cmd.info "protect" ~doc:"Synthesize and verify an error-masking circuit")
-    Term.(const protect_run $ obs_term $ circuit_arg $ theta_arg $ out_arg)
+    Term.(
+      const protect_run $ obs_term $ circuit_arg $ theta_arg $ jobs_arg $ out_arg)
 
 let wearout_run obs spec trials =
   with_obs obs "wearout" @@ fun () ->

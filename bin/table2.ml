@@ -15,8 +15,24 @@ let stats_json_path () =
   in
   scan 1
 
+(* `--jobs N` (default: EMASK_JOBS, else 1) fans the SPCF stage of each
+   synthesis out over N domains. The printed table is byte-identical for
+   every N: the parallel driver merges function-identical BDDs in
+   deterministic output order. *)
+let jobs_arg () =
+  let rec scan i =
+    if i >= Array.length Sys.argv then Spcf.Parallel.default_jobs ()
+    else if Sys.argv.(i) = "--jobs" && i + 1 < Array.length Sys.argv then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some n when n >= 1 -> n
+      | _ -> Spcf.Parallel.default_jobs ()
+    else scan (i + 1)
+  in
+  scan 1
+
 let () =
   let sidecar = stats_json_path () in
+  let jobs = jobs_arg () in
   if sidecar <> None then Obs.set_enabled true;
   let collect = Obs.on () in
   let all_stats = ref [] in
@@ -33,7 +49,8 @@ let () =
     (fun entry ->
       let net = Suite.network entry in
       if collect then Obs.reset ();
-      let m = Masking.Synthesis.synthesize net in
+      let options = { Masking.Synthesis.default_options with jobs } in
+      let m = Masking.Synthesis.synthesize ~options net in
       let r = Masking.Verify.check m in
       if collect then
         all_stats := (entry.Suite.ename, Obs_json.snapshot ()) :: !all_stats;

@@ -1,6 +1,24 @@
 (* Reduced ordered binary decision diagrams with a hash-consed unique
    table and an ite computed-table, per manager. Node handles are ints;
-   0 and 1 are the terminals. Variables are 0 .. nvars-1 in fixed order. *)
+   0 and 1 are the terminals. Variables are 0 .. nvars-1 in fixed order.
+
+   Storage layer (see DESIGN.md §8): both hot-path tables are flat int
+   arrays rather than polymorphic Hashtbls, so an [ite] call performs no
+   allocation and no polymorphic hashing.
+
+   - The unique table is open-addressing with linear probing over a
+     power-of-two slot array; a slot holds a node id (0 = empty — the
+     terminals are never interned, so 0 is free as a sentinel). Nodes
+     are never deleted, hence no tombstones and probe chains stay
+     contiguous. The table doubles at 3/4 load and rehashes from the
+     node arrays themselves.
+
+   - The computed table for [ite] is a lossy direct-mapped cache of
+     packed keys: key word 1 is [f << 31 | g], key word 2 is
+     [generation << 31 | h]. Memory is bounded (no rehash storms — a
+     miss simply overwrites the resident entry), and [clear_caches]
+     invalidates every entry in O(1) by bumping the generation tag.
+     Node ids are capped below 2^30 so the packing cannot overflow. *)
 
 type t = int
 
@@ -10,12 +28,23 @@ type man = {
   mutable low : int array;
   mutable high : int array;
   mutable n_nodes : int;
-  unique : (int * int * int, int) Hashtbl.t;
-  ite_cache : (int * int * int, int) Hashtbl.t;
+  (* unique table: open addressing, capacity = umask + 1 (power of two) *)
+  mutable utable : int array;
+  mutable umask : int;
+  (* ite computed table: direct-mapped, capacity = cmask + 1 *)
+  mutable ck1 : int array;
+  mutable ck2 : int array;
+  mutable cres : int array;
+  mutable cmask : int;
+  mutable cgen : int; (* generation tag, < 2^30 *)
+  cache_fixed : bool; (* explicit ~cache_bits: never resize (tests) *)
 }
 
 let bfalse : t = 0
 let btrue : t = 1
+
+(* Hard ceiling on node ids so packed cache keys fit in one word. *)
+let max_nodes = 1 lsl 30
 
 (* Instrumentation probes (free when Obs is disabled). *)
 let c_ite_calls = Obs.counter "bdd.ite.calls"
@@ -23,61 +52,163 @@ let c_ite_hits = Obs.counter "bdd.ite.cache_hits"
 let c_ite_misses = Obs.counter "bdd.ite.cache_misses"
 let c_unique_hits = Obs.counter "bdd.unique.hits"
 let c_unique_inserts = Obs.counter "bdd.unique.inserts"
+let c_unique_rehash = Obs.counter "bdd.unique.rehash_events"
 let c_grow = Obs.counter "bdd.grow_events"
 let c_nodes_max = Obs.counter "bdd.nodes.max"
 
-let create ~nvars () =
+(* Integer mix of a (var, low, high) triple: three odd multipliers from
+   the murmur3/splitmix64 finalizers, then a 64-bit avalanche. The
+   result may be negative; callers mask with [land] (the mask is
+   positive, so the slot index always lands in range). *)
+let[@inline] mix3 a b c =
+  let h = (a * 0x9E3779B1) + (b * 0x85EBCA77) + (c * 0xC2B2AE3D) in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x27D4EB2F165667C5 in
+  h lxor (h lsr 32)
+
+let cache_make bits =
+  let cap = 1 lsl bits in
+  (Array.make cap (-1), Array.make cap 0, Array.make cap 0, cap - 1)
+
+let default_cache_bits = 14
+let max_cache_bits = 20
+
+let create ?cache_bits ~nvars () =
   if nvars < 0 then invalid_arg "Bdd.create: negative nvars";
+  let cbits, cache_fixed =
+    match cache_bits with
+    | None -> (default_cache_bits, false)
+    | Some b ->
+      if b < 1 || b > max_cache_bits then invalid_arg "Bdd.create: cache_bits";
+      (b, true)
+  in
   let cap = 1024 in
   let var = Array.make cap 0 and low = Array.make cap 0 and high = Array.make cap 0 in
   var.(0) <- nvars;
   var.(1) <- nvars;
+  let ck1, ck2, cres, cmask = cache_make cbits in
   {
     nvars;
     var;
     low;
     high;
     n_nodes = 2;
-    unique = Hashtbl.create 4096;
-    ite_cache = Hashtbl.create 4096;
+    utable = Array.make 4096 0;
+    umask = 4095;
+    ck1;
+    ck2;
+    cres;
+    cmask;
+    cgen = 0;
+    cache_fixed;
   }
 
 let nvars man = man.nvars
 let num_nodes man = man.n_nodes
+let unique_capacity man = man.umask + 1
+let cache_capacity man = man.cmask + 1
+
+(* Invalidate every computed-table entry in O(1): entries carry the
+   generation in their second key word, so bumping the tag orphans them.
+   The generation wraps at 2^30 to keep the packing in range — after
+   2^30 clears an ancient entry could in principle alias, which is
+   indistinguishable from an ordinary cache collision given the entry
+   would also need matching keys. *)
+let clear_caches man = man.cgen <- (man.cgen + 1) land (max_nodes - 1)
 
 let var_of man n = man.var.(n)
 let low_of man n = man.low.(n)
 let high_of man n = man.high.(n)
 let is_terminal n = n < 2
 
-let grow man =
+let grow_nodes man =
   Obs.incr c_grow;
   let cap = Array.length man.var in
+  if cap >= max_nodes then failwith "Bdd: node limit (2^30) exceeded";
   let cap' = cap * 2 in
-  let extend a = Array.init cap' (fun i -> if i < cap then a.(i) else 0) in
+  let extend a =
+    let a' = Array.make cap' 0 in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
   man.var <- extend man.var;
   man.low <- extend man.low;
   man.high <- extend man.high
 
+(* Double the unique table and reinsert every interned node. Insertion
+   scans for the first empty slot — no deletions ever happen, so there
+   are no tombstones and every probe chain is a contiguous run. *)
+let unique_rehash man =
+  Obs.incr c_unique_rehash;
+  let mask' = ((man.umask + 1) * 2) - 1 in
+  let t' = Array.make (mask' + 1) 0 in
+  for n = 2 to man.n_nodes - 1 do
+    let i = ref (mix3 man.var.(n) man.low.(n) man.high.(n) land mask') in
+    while Array.unsafe_get t' !i <> 0 do
+      i := (!i + 1) land mask'
+    done;
+    Array.unsafe_set t' !i n
+  done;
+  man.utable <- t';
+  man.umask <- mask';
+  (* Let the lossy ite cache track the unique table up to a ceiling:
+     dropping the resident entries is sound (it is a cache) and growth
+     events are logarithmically rare, so there are no rehash storms. *)
+  if (not man.cache_fixed) && man.cmask + 1 < 1 lsl max_cache_bits && man.cmask < mask'
+  then begin
+    let bits =
+      let rec bits_of n acc = if n <= 1 then acc else bits_of (n lsr 1) (acc + 1) in
+      min max_cache_bits (bits_of (mask' + 1) 0)
+    in
+    let ck1, ck2, cres, cmask = cache_make bits in
+    man.ck1 <- ck1;
+    man.ck2 <- ck2;
+    man.cres <- cres;
+    man.cmask <- cmask
+  end
+
+(* Hash-consing find-or-insert. One probe sequence serves both the
+   lookup and the insertion point: the first empty slot terminates an
+   unsuccessful probe and is exactly where the new node id goes. *)
 let mk man v lo hi =
   if lo = hi then lo
-  else
-    let key = (v, lo, hi) in
-    match Hashtbl.find_opt man.unique key with
-    | Some n ->
+  else begin
+    let table = man.utable and mask = man.umask in
+    let var = man.var and low = man.low and high = man.high in
+    let i = ref (mix3 v lo hi land mask) in
+    let found = ref (-1) in
+    let scanning = ref true in
+    while !scanning do
+      let n = Array.unsafe_get table !i in
+      if n = 0 then scanning := false
+      else if
+        Array.unsafe_get var n = v
+        && Array.unsafe_get low n = lo
+        && Array.unsafe_get high n = hi
+      then begin
+        found := n;
+        scanning := false
+      end
+      else i := (!i + 1) land mask
+    done;
+    if !found >= 0 then begin
       Obs.incr c_unique_hits;
-      n
-    | None ->
+      !found
+    end
+    else begin
       Obs.incr c_unique_inserts;
-      if man.n_nodes >= Array.length man.var then grow man;
+      if man.n_nodes >= Array.length man.var then grow_nodes man;
       let n = man.n_nodes in
       man.var.(n) <- v;
       man.low.(n) <- lo;
       man.high.(n) <- hi;
       man.n_nodes <- n + 1;
       Obs.record_max c_nodes_max (n + 1);
-      Hashtbl.add man.unique key n;
+      Array.unsafe_set table !i n;
+      if (man.n_nodes - 2) * 4 > (mask + 1) * 3 then unique_rehash man;
       n
+    end
+  end
 
 let var man v =
   if v < 0 || v >= man.nvars then invalid_arg "Bdd.var: out of range";
@@ -98,12 +229,13 @@ let rec ite man f g h =
   else if g = btrue && h = bfalse then f
   else begin
     Obs.incr c_ite_calls;
-    let key = (f, g, h) in
-    match Hashtbl.find_opt man.ite_cache key with
-    | Some r ->
+    let k1 = (f lsl 31) lor g and k2 = (man.cgen lsl 31) lor h in
+    let slot = mix3 f g h land man.cmask in
+    if Array.unsafe_get man.ck1 slot = k1 && Array.unsafe_get man.ck2 slot = k2 then begin
       Obs.incr c_ite_hits;
-      r
-    | None ->
+      Array.unsafe_get man.cres slot
+    end
+    else begin
       Obs.incr c_ite_misses;
       let v = min man.var.(f) (min man.var.(g) man.var.(h)) in
       let f0, f1 = cofactors man v f in
@@ -112,8 +244,14 @@ let rec ite man f g h =
       let r1 = ite man f1 g1 h1 in
       let r0 = ite man f0 g0 h0 in
       let r = mk man v r0 r1 in
-      Hashtbl.add man.ite_cache key r;
+      (* The cache may have been resized during the recursion: recompute
+         the slot against the current mask before storing. *)
+      let slot = mix3 f g h land man.cmask in
+      man.ck1.(slot) <- k1;
+      man.ck2.(slot) <- k2;
+      man.cres.(slot) <- r;
       r
+    end
   end
 
 let bnot man f = ite man f bfalse btrue

@@ -7,10 +7,25 @@ type man
 val bfalse : t
 val btrue : t
 
-val create : nvars:int -> unit -> man
+val create : ?cache_bits:int -> nvars:int -> unit -> man
+(** [cache_bits] pins the ite computed-table to [2^cache_bits] entries
+    and disables its growth — useful for stress-testing eviction; the
+    default is an adaptive cache that tracks the unique table. *)
+
 val nvars : man -> int
 val num_nodes : man -> int
 (** Total nodes allocated in the manager (a growth diagnostic). *)
+
+val unique_capacity : man -> int
+(** Slots in the open-addressing unique table (a power of two). *)
+
+val cache_capacity : man -> int
+(** Entries in the direct-mapped ite computed-table (a power of two). *)
+
+val clear_caches : man -> unit
+(** Drop every ite computed-table entry in O(1) (generation bump). The
+    node store and unique table are untouched; results of subsequent
+    operations are unchanged — only their cost. *)
 
 val var : man -> int -> t
 val nvar : man -> int -> t

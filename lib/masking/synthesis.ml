@@ -32,6 +32,7 @@ type options = {
   map_style : Mapper.style;
   log_errors : bool;
   delay_model : Sta.delay_model;
+  jobs : int; (* SPCF worker domains; 0 = inherit EMASK_JOBS, 1 = sequential *)
 }
 
 let default_options =
@@ -46,6 +47,7 @@ let default_options =
     map_style = Mapper.Balanced;
     log_errors = false;
     delay_model = Sta.Library;
+    jobs = 0;
   }
 
 type per_output = {
@@ -73,9 +75,12 @@ type t = {
 }
 
 let run_algorithm options ctx ~target =
+  let jobs =
+    if options.jobs >= 1 then options.jobs else Spcf.Parallel.default_jobs ()
+  in
   match options.algorithm with
-  | Short_path -> Spcf.Exact.short_path ctx ~target
-  | Path_based -> Spcf.Exact.path_based ctx ~target
+  | Short_path -> Spcf.Parallel.short_path ~jobs ctx ~target
+  | Path_based -> Spcf.Parallel.path_based ~jobs ctx ~target
   | Node_based -> Spcf.Node_based.compute ctx ~target
 
 let c_cubes_kept = Obs.counter "synthesis.cubes.kept"

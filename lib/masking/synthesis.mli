@@ -23,6 +23,9 @@ type options = {
   map_style : Mapper.style;
   log_errors : bool;  (** add e·(y⊕ỹ) outputs for wearout logging *)
   delay_model : Sta.delay_model;
+  jobs : int;
+      (** SPCF worker domains ([Spcf.Parallel]); 0 = inherit
+          [EMASK_JOBS], 1 = sequential (default) *)
 }
 
 val default_options : options

@@ -23,10 +23,13 @@ let debug_flag =
 
 let debug () = debug_flag
 
-(* Wall clock, one code path for all timing. gettimeofday is the best
-   clock available without external bindings; the resolution (~1us) is
-   far below the spans we measure. *)
-let now () = Unix.gettimeofday ()
+(* Monotonic clock, one code path for all timing: clock_gettime
+   (CLOCK_MONOTONIC) through a one-function C stub, so spans and
+   reported runtimes cannot go negative under NTP wall-clock steps.
+   Seconds from an arbitrary origin; only differences are meaningful. *)
+external monotonic_now : unit -> float = "emask_obs_monotonic_now"
+
+let now () = monotonic_now ()
 
 (* --- counters ---------------------------------------------------------- *)
 

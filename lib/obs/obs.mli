@@ -24,9 +24,10 @@ val debug : unit -> bool
     from [on]: statistics collection does not imply stderr chatter. *)
 
 val now : unit -> float
-(** The clock used by every span and by [timed], in seconds. One code
-    path for all timing, so CLI-reported runtimes and span totals
-    agree. *)
+(** The clock used by every span and by [timed]: monotonic seconds from
+    an arbitrary origin (only differences are meaningful, and they can
+    never be negative). One code path for all timing, so CLI-reported
+    runtimes and span totals agree. *)
 
 (** {2 Counters} *)
 

@@ -28,7 +28,12 @@ let escape buf s =
 let float_repr f =
   if not (Float.is_finite f) then "null"
   else
+    (* Shortest readable form that still round-trips: 12 significant
+       digits when they reproduce the value exactly (the common case for
+       human-scale numbers), full precision otherwise — sub-microsecond
+       span totals from the monotonic clock need all 17 digits. *)
     let s = Printf.sprintf "%.12g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
     (* Keep Float values distinguishable from Int on re-parse. *)
     if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
     then s

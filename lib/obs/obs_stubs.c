@@ -1,0 +1,35 @@
+/* Monotonic clock for Obs.now: seconds (as a double) from an arbitrary
+   fixed origin. Spans and reported runtimes only ever use differences
+   of this value, so the origin does not matter — what matters is that
+   the clock cannot step backwards under NTP adjustment, which
+   gettimeofday can. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+
+#if defined(_WIN32)
+
+#include <windows.h>
+
+CAMLprim value emask_obs_monotonic_now(value unit)
+{
+  LARGE_INTEGER freq, count;
+  (void)unit;
+  QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&count);
+  return caml_copy_double((double)count.QuadPart / (double)freq.QuadPart);
+}
+
+#else
+
+#include <time.h>
+
+CAMLprim value emask_obs_monotonic_now(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec);
+}
+
+#endif

@@ -159,6 +159,21 @@ let sigma_of_output_lateness ctx ~memo y target_units =
   in
   Bdd.bor ctx.Ctx.man u0 u1
 
+(* Per-output SPCFs for an explicit output set — the unit of work the
+   domain-parallel driver (Spcf.Parallel) hands to each worker. The memo
+   is shared across the given outputs exactly when the options say so,
+   matching the sequential algorithms' cost profile per worker. *)
+let sigmas ctx ~opts ~outputs ~target_units =
+  let memo = Hashtbl.create 4096 in
+  Array.to_list outputs
+  |> List.map (fun (name, y) ->
+         if not opts.share_across_outputs then Hashtbl.reset memo;
+         let sigma =
+           Obs.with_span ("output:" ^ name) (fun () ->
+               sigma_of_output ctx ~opts ~memo y target_units)
+         in
+         (name, y, sigma))
+
 (* Runtimes are measured through [Obs.timed] — the same clock that feeds
    the span tree — so the CLI-reported runtime and the statistics agree
    whether or not observation is enabled. *)
@@ -167,20 +182,24 @@ let compute ctx ~opts ~algorithm ~target =
     Obs.timed ("spcf." ^ algorithm) (fun () ->
         let target_units = Ctx.units_of_target target in
         let critical = Sta.critical_outputs ctx.Ctx.sta ~target in
-        let memo = Hashtbl.create 4096 in
-        Array.to_list critical
-        |> List.map (fun (name, y) ->
-               if not opts.share_across_outputs then Hashtbl.reset memo;
-               let sigma =
-                 Obs.with_span ("output:" ^ name) (fun () ->
-                     sigma_of_output ctx ~opts ~memo y target_units)
-               in
-               (name, y, sigma)))
+        sigmas ctx ~opts ~outputs:critical ~target_units)
   in
   Ctx.make_result ctx ~algorithm ~target outputs ~runtime
 
 let short_path ctx ~target =
   compute ctx ~opts:proposed_options ~algorithm:"short-path-based" ~target
+
+(* Lateness-formulation counterpart of [sigmas]: fresh memo per output,
+   as the path-based extension prescribes (no cross-output sharing). *)
+let sigmas_lateness ctx ~outputs ~target_units =
+  Array.to_list outputs
+  |> List.map (fun (name, y) ->
+         let memo = Hashtbl.create 4096 in
+         let sigma =
+           Obs.with_span ("output:" ^ name) (fun () ->
+               sigma_of_output_lateness ctx ~memo y target_units)
+         in
+         (name, y, sigma))
 
 (* The exact path-based extension of [22]: per-output computation of the
    long-path activation functions in their direct product-of-sums form,
@@ -190,14 +209,7 @@ let path_based ctx ~target =
     Obs.timed "spcf.path-based" (fun () ->
         let target_units = Ctx.units_of_target target in
         let critical = Sta.critical_outputs ctx.Ctx.sta ~target in
-        Array.to_list critical
-        |> List.map (fun (name, y) ->
-               let memo = Hashtbl.create 4096 in
-               let sigma =
-                 Obs.with_span ("output:" ^ name) (fun () ->
-                     sigma_of_output_lateness ctx ~memo y target_units)
-               in
-               (name, y, sigma)))
+        sigmas_lateness ctx ~outputs:critical ~target_units)
   in
   Ctx.make_result ctx ~algorithm:"path-based" ~target outputs ~runtime
 

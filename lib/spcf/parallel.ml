@@ -1,0 +1,156 @@
+(* Domain-parallel SPCF computation (OCaml 5 Domains).
+
+   The per-output SPCFs Σ_y are independent: each one is a function of
+   the (immutable) mapped circuit, the delay model and the target only.
+   The BDD manager is the single piece of shared mutable state in the
+   sequential algorithms — so each worker domain gets its *own* manager
+   by building a private [Ctx.t] from the shared circuit, computes the
+   Σ_y of its assigned outputs there, and ships each result back as a
+   plain-integer DAG. The main domain re-imports every Σ_y into the
+   caller's manager in critical-output order, so the merged result is
+   deterministic and — because ROBDDs are canonical — the imported
+   functions are exactly the ones the sequential algorithm produces.
+   [jobs = 1] (the default) bypasses all of this and runs the sequential
+   algorithm unchanged, keeping single-job runs bit-for-bit identical to
+   the pre-parallel code path.
+
+   Worker domains never touch the Obs registry meaningfully: the
+   registry is global and deliberately lock-free, so when statistics
+   collection is enabled the computation stays on the main domain
+   (correct stats beat parallel stats-free runs for a profiling
+   session). *)
+
+type algorithm = Short_path | Path_based
+
+(* The default job count: EMASK_JOBS, else 1 — parallelism is opt-in so
+   every seeded workflow stays on the sequential (identical) path. *)
+let default_jobs () =
+  match Sys.getenv_opt "EMASK_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> 1)
+
+(* --- cross-manager BDD transport ---------------------------------------
+
+   A BDD is exported as a postorder DAG over plain integers: ids 0/1 are
+   the terminals, internal node i (array index) has id i + 2, and
+   children always precede parents. Import replays the array bottom-up
+   with ite(var v, high, low) = the node (v, low, high), which re-canonizes
+   the function inside the destination manager. *)
+
+type dag = int array * int array * int array * int
+
+let export man root : dag =
+  if Bdd.is_terminal root then ([||], [||], [||], (root :> int))
+  else begin
+    let ids : (Bdd.t, int) Hashtbl.t = Hashtbl.create 256 in
+    let acc = ref [] and count = ref 0 in
+    (* Depth is bounded by the variable order (nvars), so plain
+       recursion is safe. *)
+    let rec walk n =
+      if (not (Bdd.is_terminal n)) && not (Hashtbl.mem ids n) then begin
+        Hashtbl.add ids n (-1);
+        walk (Bdd.low_of man n);
+        walk (Bdd.high_of man n);
+        Hashtbl.replace ids n (!count + 2);
+        incr count;
+        acc := n :: !acc
+      end
+    in
+    walk root;
+    let nodes = Array.of_list (List.rev !acc) in
+    let id n = if Bdd.is_terminal n then (n :> int) else Hashtbl.find ids n in
+    ( Array.map (fun n -> Bdd.var_of man n) nodes,
+      Array.map (fun n -> id (Bdd.low_of man n)) nodes,
+      Array.map (fun n -> id (Bdd.high_of man n)) nodes,
+      id root )
+  end
+
+let import man ((vars, lows, highs, root) : dag) =
+  if root = 0 then Bdd.bfalse
+  else if root = 1 then Bdd.btrue
+  else begin
+    let n = Array.length vars in
+    let handle = Array.make (n + 2) Bdd.bfalse in
+    handle.(1) <- Bdd.btrue;
+    for i = 0 to n - 1 do
+      handle.(i + 2) <-
+        Bdd.ite man (Bdd.var man vars.(i)) handle.(highs.(i)) handle.(lows.(i))
+    done;
+    handle.(root)
+  end
+
+(* --- parallel driver ---------------------------------------------------- *)
+
+let sequential ctx ~algorithm ~target =
+  match algorithm with
+  | Short_path -> Exact.short_path ctx ~target
+  | Path_based -> Exact.path_based ctx ~target
+
+let compute ?jobs ctx ~algorithm ~target =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let jobs = if Obs.on () then 1 else jobs in
+  if jobs = 1 then sequential ctx ~algorithm ~target
+  else begin
+    let critical = Sta.critical_outputs ctx.Ctx.sta ~target in
+    let n = Array.length critical in
+    let k = min jobs n in
+    if k <= 1 then sequential ctx ~algorithm ~target
+    else begin
+      let name =
+        match algorithm with
+        | Short_path -> "short-path-based"
+        | Path_based -> "path-based"
+      in
+      let outputs, runtime =
+        Obs.timed ("spcf." ^ name) (fun () ->
+            let target_units = Ctx.units_of_target target in
+            let circuit = ctx.Ctx.circuit and model = ctx.Ctx.model in
+            (* Round-robin assignment: worker j owns critical outputs
+               j, j+k, j+2k, ... — deterministic, and it interleaves
+               neighbouring (often similar-sized) cones across workers. *)
+            let chunk j =
+              Array.of_list
+                (List.filteri (fun i _ -> i mod k = j) (Array.to_list critical))
+            in
+            let worker j () =
+              let wctx = Ctx.create ~model circuit in
+              let sigs =
+                match algorithm with
+                | Short_path ->
+                  Exact.sigmas wctx ~opts:Exact.proposed_options ~outputs:(chunk j)
+                    ~target_units
+                | Path_based ->
+                  Exact.sigmas_lateness wctx ~outputs:(chunk j) ~target_units
+              in
+              List.map
+                (fun (nm, y, sigma) -> (nm, y, export wctx.Ctx.man sigma))
+                sigs
+            in
+            let domains = Array.init k (fun j -> Domain.spawn (worker j)) in
+            let per_domain = Array.map Domain.join domains in
+            (* Merge in critical-output order: worker j's p-th result is
+               critical output j + p*k. Importing into the caller's
+               manager happens only here, on the main domain. *)
+            let man = ctx.Ctx.man in
+            let merged = Array.make n None in
+            Array.iteri
+              (fun j sigs ->
+                List.iteri
+                  (fun p (nm, y, dag) ->
+                    merged.(j + (p * k)) <- Some (nm, y, import man dag))
+                  sigs)
+              per_domain;
+            Array.to_list merged
+            |> List.map (function
+                 | Some r -> r
+                 | None -> assert false))
+      in
+      Ctx.make_result ctx ~algorithm:name ~target outputs ~runtime
+    end
+  end
+
+let short_path ?jobs ctx ~target = compute ?jobs ctx ~algorithm:Short_path ~target
+let path_based ?jobs ctx ~target = compute ?jobs ctx ~algorithm:Path_based ~target

@@ -1,0 +1,35 @@
+(** Domain-parallel per-output SPCF computation.
+
+    The per-output SPCFs are independent given the (immutable) mapped
+    circuit; each worker domain builds a private [Ctx.t] — and thus a
+    private BDD manager — computes the Σ_y of its assigned outputs, and
+    ships them back as plain-integer DAGs. The main domain re-imports
+    them into the caller's manager in critical-output order, so results
+    are deterministic and function-identical to the sequential
+    algorithms. With [jobs = 1] (the default) the sequential code path
+    runs unchanged. When Obs statistics collection is enabled the
+    computation stays on the main domain (the registry is global and
+    lock-free by design). *)
+
+type algorithm = Short_path | Path_based
+
+val default_jobs : unit -> int
+(** [EMASK_JOBS] when set to a positive integer, else 1. *)
+
+val compute : ?jobs:int -> Ctx.t -> algorithm:algorithm -> target:float -> Ctx.result
+(** [jobs] defaults to [default_jobs ()]. The result — outputs in
+    critical-output order, union, counts — is the same function set the
+    sequential algorithm produces; only [runtime] (wall clock) and the
+    internal node numbering of the shared manager may differ. *)
+
+val short_path : ?jobs:int -> Ctx.t -> target:float -> Ctx.result
+val path_based : ?jobs:int -> Ctx.t -> target:float -> Ctx.result
+
+(**/**)
+
+type dag = int array * int array * int array * int
+
+val export : Bdd.man -> Bdd.t -> dag
+val import : Bdd.man -> dag -> Bdd.t
+(** Cross-manager BDD transport (exposed for tests): postorder DAG with
+    terminal ids 0/1 and internal ids offset by 2. *)

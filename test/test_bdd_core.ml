@@ -1,0 +1,231 @@
+(* Property tests aimed at the packed BDD core: random operation
+   sequences replayed against a truth-table reference — once on a
+   default manager and once on a 4-entry pinned computed-table, so
+   every cache eviction path is exercised — plus directed adversarial
+   cases for unique-table growth/rehash stability and generation-based
+   cache clearing. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- Truth-table reference ---------- *)
+
+(* Functions over [nvars] variables as bitmask truth tables: bit i of
+   the table is f(env_i) where env_i.(v) = (i lsr v) land 1. *)
+let nvars = 5
+let n_env = 1 lsl nvars
+let full = (1 lsl n_env) - 1
+
+let tt_var v =
+  let r = ref 0 in
+  for i = 0 to n_env - 1 do
+    if (i lsr v) land 1 = 1 then r := !r lor (1 lsl i)
+  done;
+  !r
+
+let tt_not f = lnot f land full
+let tt_ite f g h = f land g lor (tt_not f land h)
+
+let tt_restrict f v b =
+  let r = ref 0 in
+  for i = 0 to n_env - 1 do
+    let j = if b then i lor (1 lsl v) else i land lnot (1 lsl v) in
+    if (f lsr j) land 1 = 1 then r := !r lor (1 lsl i)
+  done;
+  !r
+
+let tt_exists f v = tt_restrict f v false lor tt_restrict f v true
+let popcount f = let c = ref 0 in for i = 0 to n_env - 1 do c := !c + ((f lsr i) land 1) done; !c
+
+let envs =
+  List.init n_env (fun i -> Array.init nvars (fun v -> (i lsr v) land 1 = 1))
+
+(* ---------- Random operation sequences ---------- *)
+
+(* Raw integer operands are interpreted modulo the current pool size at
+   replay time, so any generated sequence is valid and shrinks freely. *)
+type op =
+  | Ite of int * int * int
+  | And of int * int
+  | Or of int * int
+  | Xor of int * int
+  | Not of int
+  | Restrict of int * int * bool
+  | Exists of int * int
+  | Clear  (** generation-bump the computed table mid-sequence *)
+
+let op_print = function
+  | Ite (a, b, c) -> Printf.sprintf "ite %d %d %d" a b c
+  | And (a, b) -> Printf.sprintf "and %d %d" a b
+  | Or (a, b) -> Printf.sprintf "or %d %d" a b
+  | Xor (a, b) -> Printf.sprintf "xor %d %d" a b
+  | Not a -> Printf.sprintf "not %d" a
+  | Restrict (a, v, b) -> Printf.sprintf "restrict %d x%d:=%b" a v b
+  | Exists (a, v) -> Printf.sprintf "exists %d x%d" a v
+  | Clear -> "clear-caches"
+
+let op_gen =
+  let open QCheck.Gen in
+  let idx = int_bound 1000 in
+  let v = int_bound (nvars - 1) in
+  frequency
+    [
+      (3, map3 (fun a b c -> Ite (a, b, c)) idx idx idx);
+      (2, map2 (fun a b -> And (a, b)) idx idx);
+      (2, map2 (fun a b -> Or (a, b)) idx idx);
+      (2, map2 (fun a b -> Xor (a, b)) idx idx);
+      (1, map (fun a -> Not a) idx);
+      (1, map3 (fun a x b -> Restrict (a, x, b)) idx v bool);
+      (1, map2 (fun a x -> Exists (a, x)) idx v);
+      (1, return Clear);
+    ]
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+    QCheck.Gen.(list_size (int_range 1 60) op_gen)
+
+(* Replay [ops] on [man] and on the truth-table reference; the pool
+   starts with the variables and every result is appended to it. *)
+let replay man ops =
+  let pool = ref [||] in
+  let push b t = pool := Array.append !pool [| (b, t) |] in
+  for v = 0 to nvars - 1 do
+    push (Bdd.var man v) (tt_var v)
+  done;
+  let get i =
+    let a = !pool in
+    a.(i mod Array.length a)
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Ite (a, b, c) ->
+        let fa, ta = get a and fb, tb = get b and fc, tc = get c in
+        push (Bdd.ite man fa fb fc) (tt_ite ta tb tc)
+      | And (a, b) ->
+        let fa, ta = get a and fb, tb = get b in
+        push (Bdd.band man fa fb) (ta land tb)
+      | Or (a, b) ->
+        let fa, ta = get a and fb, tb = get b in
+        push (Bdd.bor man fa fb) (ta lor tb)
+      | Xor (a, b) ->
+        let fa, ta = get a and fb, tb = get b in
+        push (Bdd.bxor man fa fb) ((ta lxor tb) land full)
+      | Not a ->
+        let fa, ta = get a in
+        push (Bdd.bnot man fa) (tt_not ta)
+      | Restrict (a, v, b) ->
+        let fa, ta = get a in
+        push (Bdd.restrict man fa v b) (tt_restrict ta v b)
+      | Exists (a, v) ->
+        let fa, ta = get a in
+        let vars = Array.init nvars (fun i -> i = v) in
+        push (Bdd.exists man vars fa) (tt_exists ta v)
+      | Clear -> Bdd.clear_caches man)
+    ops;
+  !pool
+
+let agrees man (f, tt) =
+  List.for_all
+    (fun env ->
+      let i =
+        Array.to_list (Array.mapi (fun v b -> if b then 1 lsl v else 0) env)
+        |> List.fold_left ( lor ) 0
+      in
+      Bdd.eval man f env = ((tt lsr i) land 1 = 1))
+    envs
+  && Extfloat.equal (Bdd.satcount man f)
+       (Extfloat.of_float (float_of_int (popcount tt)))
+
+let prop_replay_default =
+  QCheck.Test.make ~name:"core: op replay vs truth tables (default cache)"
+    ~count:300 arb_ops (fun ops ->
+      let man = Bdd.create ~nvars () in
+      Array.for_all (agrees man) (replay man ops))
+
+(* A 4-entry computed table evicts on nearly every insert; correctness
+   must not depend on what the cache remembers. *)
+let prop_replay_tiny_cache =
+  QCheck.Test.make ~name:"core: op replay vs truth tables (4-entry cache)"
+    ~count:300 arb_ops (fun ops ->
+      let man = Bdd.create ~cache_bits:2 ~nvars () in
+      Array.for_all (agrees man) (replay man ops))
+
+(* The same sequence on both managers must yield the same handles:
+   hash-consed structure is independent of the computed-table size. *)
+let prop_cache_size_invariance =
+  QCheck.Test.make ~name:"core: handles independent of cache size" ~count:200
+    arb_ops (fun ops ->
+      let m1 = Bdd.create ~nvars () in
+      let m2 = Bdd.create ~cache_bits:2 ~nvars () in
+      let p1 = replay m1 ops and p2 = replay m2 ops in
+      Array.for_all2 (fun (f1, _) (f2, _) -> f1 = f2) p1 p2)
+
+(* ---------- Adversarial growth ---------- *)
+
+(* x = y over two 13-bit vectors with all x's ordered before all y's:
+   the canonical ROBDD must remember every x value, so it has more than
+   2^13 internal nodes — well past the initial 4096-slot unique table
+   (rehash triggers at 3/4 load) and the initial node-array capacity. *)
+let eq_bits = 13
+
+let build_eq man =
+  let fs =
+    List.init eq_bits (fun i ->
+        Bdd.bxnor man (Bdd.var man i) (Bdd.var man (eq_bits + i)))
+  in
+  Bdd.band_list man fs
+
+let test_growth_and_rehash () =
+  let man = Bdd.create ~nvars:(2 * eq_bits) () in
+  let cap0 = Bdd.unique_capacity man in
+  check_int "initial capacity" 4096 cap0;
+  let f = build_eq man in
+  check "forced rehash" true (Bdd.unique_capacity man > cap0);
+  check "forced node growth" true (Bdd.num_nodes man > 1 lsl eq_bits);
+  check "satcount = 2^13" true
+    (Extfloat.equal (Bdd.satcount man f) (Extfloat.pow2 eq_bits));
+  (* Hash-consing stability across rehashes: rebuilding the same
+     function in the same manager finds every node again. *)
+  check "stable handle after rehash" true (build_eq man = f);
+  (* The adaptive computed table tracked the unique table upward. *)
+  check "cache grew with table" true (Bdd.cache_capacity man > 1 lsl 14)
+
+let test_fixed_cache_never_grows () =
+  let man = Bdd.create ~cache_bits:2 ~nvars:(2 * eq_bits) () in
+  let f = build_eq man in
+  check_int "pinned cache" 4 (Bdd.cache_capacity man);
+  check "pinned-cache result correct" true
+    (Extfloat.equal (Bdd.satcount man f) (Extfloat.pow2 eq_bits))
+
+let test_clear_caches_identity () =
+  let man = Bdd.create ~nvars:8 () in
+  let f = Bdd.bxor man (Bdd.var man 0) (Bdd.var man 5) in
+  let g = Bdd.bor man (Bdd.var man 2) (Bdd.nvar man 7) in
+  let r1 = Bdd.ite man f g (Bdd.bnot man g) in
+  Bdd.clear_caches man;
+  let r2 = Bdd.ite man f g (Bdd.bnot man g) in
+  check "same handle after clear" true (r1 = r2);
+  (* Many generations: the generation counter wraps safely. *)
+  for _ = 1 to 10_000 do
+    Bdd.clear_caches man
+  done;
+  check "same handle after 10k clears" true (Bdd.ite man f g (Bdd.bnot man g) = r1)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "bdd-core"
+    [
+      qsuite "replay"
+        [ prop_replay_default; prop_replay_tiny_cache; prop_cache_size_invariance ];
+      ( "adversarial",
+        [
+          Alcotest.test_case "growth and rehash" `Quick test_growth_and_rehash;
+          Alcotest.test_case "fixed cache never grows" `Quick
+            test_fixed_cache_never_grows;
+          Alcotest.test_case "clear_caches identity" `Quick
+            test_clear_caches_identity;
+        ] );
+    ]

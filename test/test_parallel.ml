@@ -1,0 +1,164 @@
+(* Tests for the domain-parallel SPCF driver: the cross-manager DAG
+   transport round-trips arbitrary functions, and running with several
+   worker domains yields exactly the sequential results — same critical
+   outputs in the same order, same per-output SPCFs, same synthesized
+   masking circuit. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ---------- Export / import round-trip ---------- *)
+
+type expr = Var of int | Not of expr | And of expr * expr | Xor of expr * expr
+
+let rec eval_expr env = function
+  | Var v -> env.(v)
+  | Not e -> not (eval_expr env e)
+  | And (a, b) -> eval_expr env a && eval_expr env b
+  | Xor (a, b) -> eval_expr env a <> eval_expr env b
+
+let rec build man = function
+  | Var v -> Bdd.var man v
+  | Not e -> Bdd.bnot man (build man e)
+  | And (a, b) -> Bdd.band man (build man a) (build man b)
+  | Xor (a, b) -> Bdd.bxor man (build man a) (build man b)
+
+let nvars = 6
+let envs = List.init (1 lsl nvars) (fun i -> Array.init nvars (fun v -> (i lsr v) land 1 = 1))
+
+let expr_gen =
+  let open QCheck.Gen in
+  sized_size (int_bound 8)
+  @@ fix (fun self n ->
+         if n <= 0 then map (fun v -> Var v) (int_bound (nvars - 1))
+         else
+           frequency
+             [
+               (1, map (fun v -> Var v) (int_bound (nvars - 1)));
+               (2, map (fun e -> Not e) (self (n - 1)));
+               (2, map2 (fun a b -> And (a, b)) (self (n / 2)) (self (n / 2)));
+               (2, map2 (fun a b -> Xor (a, b)) (self (n / 2)) (self (n / 2)));
+             ])
+
+let rec expr_print = function
+  | Var v -> Printf.sprintf "x%d" v
+  | Not e -> Printf.sprintf "!(%s)" (expr_print e)
+  | And (a, b) -> Printf.sprintf "(%s & %s)" (expr_print a) (expr_print b)
+  | Xor (a, b) -> Printf.sprintf "(%s ^ %s)" (expr_print a) (expr_print b)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"transport: export/import preserves the function"
+    ~count:300
+    (QCheck.make ~print:expr_print expr_gen)
+    (fun e ->
+      let m1 = Bdd.create ~nvars () in
+      let m2 = Bdd.create ~nvars () in
+      let f = build m1 e in
+      let g = Spcf.Parallel.import m2 (Spcf.Parallel.export m1 f) in
+      List.for_all (fun env -> Bdd.eval m2 g env = eval_expr env e) envs)
+
+let prop_roundtrip_same_manager =
+  QCheck.Test.make ~name:"transport: re-import into the source manager is identity"
+    ~count:300
+    (QCheck.make ~print:expr_print expr_gen)
+    (fun e ->
+      let man = Bdd.create ~nvars () in
+      let f = build man e in
+      Spcf.Parallel.import man (Spcf.Parallel.export man f) = f)
+
+(* ---------- Determinism: jobs = 4 vs jobs = 1 ---------- *)
+
+let circuits = [ "i1"; "cmb"; "x2" ]
+
+(* Per-output SPCFs live in different managers for the two runs, so the
+   comparison is semantic: same names in the same order, same minterm
+   counts per output and for the union. *)
+let same_result (ctx1, (r1 : Spcf.Ctx.result)) (ctx4, (r4 : Spcf.Ctx.result)) =
+  let names r = List.map (fun (n, _, _) -> n) r.Spcf.Ctx.outputs in
+  check_str "output order" (String.concat "," (names r1)) (String.concat "," (names r4));
+  List.iter2
+    (fun (n, _, s1) (_, _, s4) ->
+      check (n ^ " satcount") true
+        (Extfloat.equal
+           (Bdd.satcount ctx1.Spcf.Ctx.man s1)
+           (Bdd.satcount ctx4.Spcf.Ctx.man s4)))
+    r1.Spcf.Ctx.outputs r4.Spcf.Ctx.outputs;
+  check "union satcount" true
+    (Extfloat.equal (Spcf.Ctx.count ctx1 r1) (Spcf.Ctx.count ctx4 r4))
+
+let run_spcf algo jobs name =
+  let mc = Mapper.map (Suite.load name) in
+  let ctx = Spcf.Ctx.create mc in
+  let target = Spcf.Ctx.target_of_theta ctx 0.9 in
+  let r =
+    match algo with
+    | `Short -> Spcf.Parallel.short_path ~jobs ctx ~target
+    | `Path -> Spcf.Parallel.path_based ~jobs ctx ~target
+  in
+  (ctx, r)
+
+let test_spcf_determinism algo () =
+  List.iter
+    (fun name -> same_result (run_spcf algo 1 name) (run_spcf algo 4 name))
+    circuits
+
+(* Downstream synthesis + verification must be unaffected by the worker
+   count: every verdict and every overhead figure matches. *)
+let test_synthesis_determinism () =
+  List.iter
+    (fun name ->
+      let net = Suite.load name in
+      let run jobs =
+        let options = { Masking.Synthesis.default_options with jobs } in
+        Masking.Verify.check (Masking.Synthesis.synthesize ~options net)
+      in
+      let r1 = run 1 and r4 = run 4 in
+      check (name ^ " equivalent") r1.Masking.Verify.equivalent
+        r4.Masking.Verify.equivalent;
+      check (name ^ " coverage_ok") r1.Masking.Verify.coverage_ok
+        r4.Masking.Verify.coverage_ok;
+      check (name ^ " prediction_ok") r1.Masking.Verify.prediction_ok
+        r4.Masking.Verify.prediction_ok;
+      check_int (name ^ " critical outputs") r1.Masking.Verify.critical_outputs
+        r4.Masking.Verify.critical_outputs;
+      check (name ^ " critical minterms") true
+        (Extfloat.equal r1.Masking.Verify.critical_minterms
+           r4.Masking.Verify.critical_minterms);
+      Alcotest.(check (float 1e-9))
+        (name ^ " area overhead") r1.Masking.Verify.area_overhead_pct
+        r4.Masking.Verify.area_overhead_pct;
+      Alcotest.(check (float 1e-9))
+        (name ^ " coverage pct") r1.Masking.Verify.coverage_pct
+        r4.Masking.Verify.coverage_pct)
+    circuits
+
+(* Obs collection forces the sequential path (the registry is global);
+   the jobs knob must not change results there either. *)
+let test_obs_forces_sequential () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  let c1, r1 = run_spcf `Short 1 "i1" in
+  let c4, r4 = run_spcf `Short 4 "i1" in
+  Obs.reset ();
+  Obs.set_enabled false;
+  same_result (c1, r1) (c4, r4)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "spcf-parallel"
+    [
+      qsuite "transport" [ prop_roundtrip; prop_roundtrip_same_manager ];
+      ( "determinism",
+        [
+          Alcotest.test_case "short-path jobs=4 = jobs=1" `Quick
+            (test_spcf_determinism `Short);
+          Alcotest.test_case "path-based jobs=4 = jobs=1" `Quick
+            (test_spcf_determinism `Path);
+          Alcotest.test_case "synthesis jobs=4 = jobs=1" `Quick
+            test_synthesis_determinism;
+          Alcotest.test_case "obs forces sequential" `Quick
+            test_obs_forces_sequential;
+        ] );
+    ]
