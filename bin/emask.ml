@@ -2,6 +2,7 @@
 
    Subcommands:
      list      enumerate the built-in benchmark suite
+     lint      static analysis: structural, timing and masking checks
      spcf      compute speed-path characteristic functions
      protect   synthesize + verify an error-masking circuit
      wearout   aging sweep with the timing simulator
@@ -10,13 +11,29 @@
    Every subcommand accepts --stats (print the instrumentation report:
    span tree, counters, histograms) and --stats-json FILE (write the
    same data as JSON). EMASK_OBS=1 in the environment enables the
-   report without a flag. *)
+   report without a flag.
+
+   Exit codes: 0 success / lint clean; 1 lint warnings under
+   --fail-on=warning; 2 lint errors (including pre-flight failures of
+   the other subcommands). *)
 
 open Cmdliner
 
+(* Every entry point pre-flights its input with the cheap error-only
+   lint subset and exits 2 with a one-line summary instead of failing
+   deep inside BDD construction. *)
 let load_circuit spec =
   Obs.with_span "load" (fun () ->
-      if Sys.file_exists spec then Blif.parse_file spec else Suite.load spec)
+      if Sys.file_exists spec then begin
+        let src = Blif.read_source spec in
+        Analysis.Lint.gate ~what:spec (Analysis.Lint.preflight_source src);
+        Blif.elaborate src
+      end
+      else begin
+        let net = Suite.load spec in
+        Analysis.Lint.gate ~what:spec (Analysis.Lint.preflight net);
+        net
+      end)
 
 let circuit_arg =
   let doc = "Benchmark name (see $(b,emask list)) or path to a BLIF file." in
@@ -76,6 +93,98 @@ let list_run obs =
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark suite")
     Term.(const list_run $ obs_term)
+
+(* --- lint --------------------------------------------------------------- *)
+
+let fail_on_arg =
+  let doc =
+    "Severity that makes the exit status nonzero: $(b,error) (default; exit 2) or \
+     $(b,warning) (exit 1 on warnings, 2 on errors)."
+  in
+  let sev_conv =
+    Arg.enum [ ("error", Analysis.Diag.Error); ("warning", Analysis.Diag.Warning) ]
+  in
+  Arg.(
+    value & opt sev_conv Analysis.Diag.Error & info [ "fail-on" ] ~docv:"SEVERITY" ~doc)
+
+let json_arg =
+  let doc = "Emit the diagnostics as a JSON report on stdout instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let contract_arg =
+  let doc =
+    "Also synthesize the error-masking circuit and verify the paper's masking \
+     contract (mux insertion, non-intrusiveness, indicator soundness, the >= 20% \
+     timing-slack margin)."
+  in
+  Arg.(value & flag & info [ "contract" ] ~doc)
+
+(* Lint a circuit. BLIF files are first analyzed in raw form (the only
+   form in which cycles and undriven/multiply-driven signals are even
+   representable); if the source passes the error-level checks it is
+   elaborated and the semantic + timing passes run on the mapped
+   realization. Suite circuits skip the source stage. *)
+let lint_run obs spec fail_on json contract theta jobs =
+  let code =
+    with_obs obs "lint" @@ fun () ->
+    let source_diags, net =
+      if Sys.file_exists spec then begin
+        match Blif.read_source spec with
+        | src ->
+          let ds = Analysis.Lint.source src in
+          if Analysis.Diag.errors ds = [] then (ds, Some (Blif.elaborate src))
+          else (ds, None)
+        | exception Blif.Parse_error msg ->
+          ([ Analysis.Diag.diag Analysis.Diag.Parse_error msg ], None)
+      end
+      else ([], Some (load_circuit spec))
+    in
+    let semantic_diags =
+      match net with
+      | None -> []
+      | Some net ->
+        (* For BLIF files the structural passes already ran on the raw
+           source; only the cover-semantic pass is new. Suite circuits
+           get the full network pipeline. *)
+        let net_ds =
+          if Sys.file_exists spec then Analysis.Passes.net_const_gates net
+          else Analysis.Lint.network net
+        in
+        let mc = Obs.with_span "map" (fun () -> Mapper.map net) in
+        let mapped_ds =
+          Analysis.Passes.mapped_unmapped_gates mc
+          @ Analysis.Passes.sta_consistency mc
+        in
+        let contract_ds =
+          if contract && Analysis.Diag.errors net_ds = [] then begin
+            let options =
+              { Masking.Synthesis.default_options with theta; jobs = resolve_jobs jobs }
+            in
+            let m = Masking.Synthesis.synthesize ~options net in
+            Analysis.Lint.masking m
+          end
+          else []
+        in
+        net_ds @ mapped_ds @ contract_ds
+    in
+    let diags = source_diags @ semantic_diags in
+    if json then
+      print_endline (Obs_json.to_string (Analysis.Diag.report_json ~name:spec diags))
+    else Analysis.Diag.print stdout diags;
+    Analysis.Diag.exit_code ~fail_on diags
+  in
+  if code <> 0 then exit code
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a circuit: structural well-formedness (cycles, \
+          undriven and multiply-driven signals, dead cones, provable constants), \
+          STA consistency, and optionally the masking contract")
+    Term.(
+      const lint_run $ obs_term $ circuit_arg $ fail_on_arg $ json_arg $ contract_arg
+      $ theta_arg $ jobs_arg)
 
 let spcf_run obs spec theta algo jobs =
   with_obs obs "spcf" @@ fun () ->
@@ -181,4 +290,7 @@ let () =
     Cmd.info "emask" ~version:"1.0.0"
       ~doc:"Masking timing errors on speed-paths in logic circuits (DATE 2009)"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; spcf_cmd; protect_cmd; wearout_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; lint_cmd; spcf_cmd; protect_cmd; wearout_cmd; trace_cmd ]))

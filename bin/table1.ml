@@ -36,6 +36,9 @@ let snapshot_after ~collect f =
 let run_row ~collect ~jobs entry =
   let name = entry.Suite.ename in
   let net = Suite.network entry in
+  (* Pre-flight: reject a malformed circuit with a one-line summary
+     instead of failing deep inside BDD construction. *)
+  Analysis.Lint.gate ~what:name (Analysis.Lint.preflight net);
   (* Fresh context per algorithm: shared BDD managers would warm the
      caches of whichever algorithm runs later. *)
   let run algo =

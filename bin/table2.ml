@@ -48,6 +48,9 @@ let () =
   List.iter
     (fun entry ->
       let net = Suite.network entry in
+      (* Pre-flight: reject a malformed circuit with a one-line summary
+         instead of failing deep inside synthesis. *)
+      Analysis.Lint.gate ~what:entry.Suite.ename (Analysis.Lint.preflight net);
       if collect then Obs.reset ();
       let options = { Masking.Synthesis.default_options with jobs } in
       let m = Masking.Synthesis.synthesize ~options net in

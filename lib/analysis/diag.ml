@@ -1,0 +1,206 @@
+(* Diagnostics: stable check codes with severities, optional source
+   locations (threaded from the BLIF parser) and signal names, plus the
+   text and JSON reporters shared by every pass and by `emask lint`. *)
+
+type severity = Info | Warning | Error
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_order = function Info -> 0 | Warning -> 1 | Error -> 2
+
+type code =
+  | Parse_error
+  | Cycle
+  | Undriven
+  | Multi_driver
+  | Unused_input
+  | Dead_cone
+  | Const_gate
+  | No_outputs
+  | Unmapped_gate
+  | Sta_delta
+  | Sta_monotone
+  | Sta_negative
+  | Mask_intrusive
+  | Mask_slack
+  | Mask_mux
+  | Mask_coverage
+
+let code_id = function
+  | Parse_error -> "BLIF001"
+  | Cycle -> "NET001"
+  | Undriven -> "NET002"
+  | Multi_driver -> "NET003"
+  | Unused_input -> "NET004"
+  | Dead_cone -> "NET005"
+  | Const_gate -> "NET006"
+  | No_outputs -> "NET007"
+  | Unmapped_gate -> "MAP001"
+  | Sta_delta -> "STA001"
+  | Sta_monotone -> "STA002"
+  | Sta_negative -> "STA003"
+  | Mask_intrusive -> "MASK001"
+  | Mask_slack -> "MASK002"
+  | Mask_mux -> "MASK003"
+  | Mask_coverage -> "MASK004"
+
+let code_name = function
+  | Parse_error -> "parse-error"
+  | Cycle -> "cycle"
+  | Undriven -> "undriven"
+  | Multi_driver -> "multi-driver"
+  | Unused_input -> "unused-input"
+  | Dead_cone -> "dead-cone"
+  | Const_gate -> "const-gate"
+  | No_outputs -> "no-outputs"
+  | Unmapped_gate -> "unmapped-gate"
+  | Sta_delta -> "sta-delta"
+  | Sta_monotone -> "sta-monotone"
+  | Sta_negative -> "sta-negative"
+  | Mask_intrusive -> "mask-intrusive"
+  | Mask_slack -> "mask-slack"
+  | Mask_mux -> "mask-mux"
+  | Mask_coverage -> "mask-coverage"
+
+let default_severity = function
+  | Parse_error | Cycle | Undriven | Multi_driver | No_outputs -> Error
+  | Unmapped_gate | Sta_delta | Sta_monotone | Sta_negative -> Error
+  | Mask_intrusive | Mask_slack | Mask_mux | Mask_coverage -> Error
+  | Unused_input | Dead_cone | Const_gate -> Warning
+
+let all_codes =
+  [
+    Parse_error;
+    Cycle;
+    Undriven;
+    Multi_driver;
+    Unused_input;
+    Dead_cone;
+    Const_gate;
+    No_outputs;
+    Unmapped_gate;
+    Sta_delta;
+    Sta_monotone;
+    Sta_negative;
+    Mask_intrusive;
+    Mask_slack;
+    Mask_mux;
+    Mask_coverage;
+  ]
+
+type t = {
+  code : code;
+  severity : severity;
+  loc : Blif.loc option;
+  signal : string option;
+  message : string;
+}
+
+let diag ?severity ?loc ?signal code message =
+  let severity = match severity with Some s -> s | None -> default_severity code in
+  { code; severity; loc; signal; message }
+
+let compare a b =
+  let c = Stdlib.compare (severity_order b.severity) (severity_order a.severity) in
+  if c <> 0 then c
+  else
+    let line = function Some l -> l.Blif.line | None -> max_int in
+    let c = Stdlib.compare (line a.loc) (line b.loc) in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare (code_id a.code) (code_id b.code) in
+      if c <> 0 then c else Stdlib.compare (a.signal, a.message) (b.signal, b.message)
+
+let sort ds = List.stable_sort compare ds
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let max_severity = function
+  | [] -> None
+  | ds ->
+    Some
+      (List.fold_left
+         (fun acc d ->
+           if severity_order d.severity > severity_order acc then d.severity else acc)
+         Info ds)
+
+let exit_code ?(fail_on = Error) ds =
+  match max_severity ds with
+  | Some Error -> 2
+  | Some Warning when severity_order fail_on <= severity_order Warning -> 1
+  | Some Info when fail_on = Info -> 1
+  | _ -> 0
+
+let to_string d =
+  let b = Buffer.create 80 in
+  (match d.loc with
+  | Some l ->
+    Buffer.add_string b (Blif.loc_to_string l);
+    Buffer.add_string b ": "
+  | None -> ());
+  Buffer.add_string b (severity_to_string d.severity);
+  Buffer.add_string b (Printf.sprintf " %s [%s]" (code_id d.code) (code_name d.code));
+  (match d.signal with
+  | Some s -> Buffer.add_string b (Printf.sprintf " (signal %s)" s)
+  | None -> ());
+  Buffer.add_string b ": ";
+  Buffer.add_string b d.message;
+  Buffer.contents b
+
+let summary ds =
+  let e = count Error ds and w = count Warning ds and i = count Info ds in
+  if e = 0 && w = 0 && i = 0 then "clean"
+  else
+    let plural n word =
+      Printf.sprintf "%d %s%s" n word (if n = 1 then "" else "s")
+    in
+    String.concat ", "
+      (List.filter_map
+         (fun (n, word) -> if n > 0 then Some (plural n word) else None)
+         [ (e, "error"); (w, "warning"); (i, "info") ])
+
+let print oc ds =
+  List.iter (fun d -> Printf.fprintf oc "%s\n" (to_string d)) (sort ds);
+  Printf.fprintf oc "lint: %s\n" (summary ds)
+
+let to_json d =
+  let open Obs_json in
+  let base =
+    [
+      ("code", String (code_id d.code));
+      ("name", String (code_name d.code));
+      ("severity", String (severity_to_string d.severity));
+      ("message", String d.message);
+    ]
+  in
+  let with_loc =
+    match d.loc with
+    | Some l ->
+      let file = match l.Blif.file with Some f -> [ ("file", String f) ] | None -> [] in
+      base @ file @ [ ("line", Int l.Blif.line) ]
+    | None -> base
+  in
+  let with_sig =
+    match d.signal with Some s -> with_loc @ [ ("signal", String s) ] | None -> with_loc
+  in
+  Obj with_sig
+
+let report_json ?name ds =
+  let open Obs_json in
+  let header = match name with Some n -> [ ("circuit", String n) ] | None -> [] in
+  Obj
+    (header
+    @ [
+        ("diagnostics", List (List.map to_json (sort ds)));
+        ( "summary",
+          Obj
+            [
+              ("errors", Int (count Error ds));
+              ("warnings", Int (count Warning ds));
+              ("infos", Int (count Info ds));
+            ] );
+      ])

@@ -1,0 +1,43 @@
+(* Standard pass pipelines, and the pre-flight gate used by the CLI
+   entry points. *)
+
+let source src =
+  Obs.with_span "lint.source" @@ fun () ->
+  Passes.source_multi_driver src @ Passes.source_undriven src
+  @ Passes.source_cycles src @ Passes.source_structure src
+
+let network net =
+  Obs.with_span "lint.network" @@ fun () ->
+  Passes.net_no_outputs net @ Passes.net_unused_inputs net
+  @ Passes.net_dead_cones net @ Passes.net_const_gates net
+
+let mapped ?model mc =
+  Obs.with_span "lint.mapped" @@ fun () ->
+  network (Mapped.network mc)
+  @ Passes.mapped_unmapped_gates mc
+  @ Passes.sta_consistency ?model mc
+
+let masking ?margin m =
+  Obs.with_span "lint.masking" @@ fun () ->
+  Contract.check ?margin m
+  @ Passes.mapped_unmapped_gates m.Masking.Synthesis.combined
+  @ Passes.sta_consistency
+      ~model:m.Masking.Synthesis.options.Masking.Synthesis.delay_model
+      m.Masking.Synthesis.combined
+
+let preflight_source src =
+  Obs.with_span "lint.preflight" @@ fun () ->
+  Diag.errors
+    (Passes.source_multi_driver src @ Passes.source_undriven src
+   @ Passes.source_cycles src @ Passes.source_structure src)
+
+let preflight net =
+  Obs.with_span "lint.preflight" @@ fun () -> Diag.errors (Passes.net_no_outputs net)
+
+let gate ~what diags =
+  match Diag.errors diags with
+  | [] -> ()
+  | errs ->
+    Printf.eprintf "emask: %s: %s — run `emask lint` for details\n%!" what
+      (Diag.summary errs);
+    exit 2

@@ -1,0 +1,35 @@
+(** Standard lint pipelines: compositions of the {!Passes} library used
+    by [emask lint] and by the pre-flight checks guarding every
+    SPCF / synthesis entry point. *)
+
+val source : Blif.source -> Diag.t list
+(** All source-level passes: multi-driver, undriven, cycles, dead
+    cones, unused inputs, no-outputs. *)
+
+val network : Network.t -> Diag.t list
+(** All network-level passes on an elaborated network: unused inputs,
+    dead cones, constant-provable gates, no-outputs. *)
+
+val mapped : ?model:Sta.delay_model -> Mapped.t -> Diag.t list
+(** Network-level passes on the underlying network, plus unmapped-gate
+    and STA-consistency checks. *)
+
+val masking : ?margin:float -> Masking.Synthesis.t -> Diag.t list
+(** The masking-contract checks ({!Contract.check}) plus mapped-level
+    lint of the combined circuit. *)
+
+val preflight_source : Blif.source -> Diag.t list
+(** The cheap error-only subset run before elaboration: multi-driver,
+    undriven, cycles, no-outputs. Linear in the netlist; anything it
+    reports would make {!Blif.elaborate} (and everything downstream)
+    fail. *)
+
+val preflight : Network.t -> Diag.t list
+(** The cheap error-only subset for already-elaborated networks (the
+    structural defects are unrepresentable there, so this reduces to
+    the no-outputs check). *)
+
+val gate : what:string -> Diag.t list -> unit
+(** Exit-code policy helper for entry points: if [diags] contains
+    errors, print a one-line summary naming [what] to [stderr] and exit
+    with status 2; otherwise return unit. *)

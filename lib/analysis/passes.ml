@@ -1,0 +1,387 @@
+(* The pass library: pure IR -> diagnostics functions. Source-level
+   passes work on the raw BLIF name graph (the only representation in
+   which structural defects survive — Network.t is acyclic and fully
+   driven by construction); network/mapped passes work on elaborated
+   IRs. *)
+
+let c_pass_runs = Obs.counter "analysis.pass_runs"
+let c_diags = Obs.counter "analysis.diags"
+
+let run_pass name f x =
+  Obs.with_span ("lint." ^ name) @@ fun () ->
+  Obs.incr c_pass_runs;
+  let ds = f x in
+  Obs.add c_diags (List.length ds);
+  ds
+
+(* ------------------------------------------------------------------ *)
+(* Source-level passes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Signals driven by more than one .names block, .names blocks driving
+   a declared input, and doubly declared inputs. The elaborator rejects
+   all three; the pass reports every instance with both positions. *)
+let source_multi_driver (src : Blif.source) =
+  run_pass "multi-driver"
+    (fun (src : Blif.source) ->
+  let input_loc = Hashtbl.create 16 in
+  let diags = ref [] in
+  List.iter
+    (fun (i, loc) ->
+      match Hashtbl.find_opt input_loc i with
+      | Some (first : Blif.loc) ->
+        diags :=
+          Diag.diag Diag.Multi_driver ~loc ~signal:i
+            (Printf.sprintf "input %S declared twice (first at %s)" i
+               (Blif.loc_to_string first))
+          :: !diags
+      | None -> Hashtbl.replace input_loc i loc)
+    src.Blif.src_inputs;
+  let defs = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Blif.raw_node) ->
+      (match Hashtbl.find_opt defs n.Blif.out with
+      | Some (first : Blif.raw_node) ->
+        diags :=
+          Diag.diag Diag.Multi_driver ~loc:n.Blif.nloc ~signal:n.Blif.out
+            (Printf.sprintf "signal %S driven by two .names blocks (first at %s)"
+               n.Blif.out
+               (Blif.loc_to_string first.Blif.nloc))
+          :: !diags
+      | None -> Hashtbl.replace defs n.Blif.out n);
+      match Hashtbl.find_opt input_loc n.Blif.out with
+      | Some iloc ->
+        diags :=
+          Diag.diag Diag.Multi_driver ~loc:n.Blif.nloc ~signal:n.Blif.out
+            (Printf.sprintf
+               "signal %S is a declared input (at %s) and may not be driven by .names"
+               n.Blif.out (Blif.loc_to_string iloc))
+          :: !diags
+      | None -> ())
+    src.Blif.nodes;
+      List.rev !diags)
+    src
+
+(* First driver of each signal; later duplicates are multi_driver's
+   business, not ours. *)
+let driver_map (src : Blif.source) =
+  let defs = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Blif.raw_node) ->
+      if not (Hashtbl.mem defs n.Blif.out) then Hashtbl.replace defs n.Blif.out n)
+    src.Blif.nodes;
+  defs
+
+let input_set (src : Blif.source) =
+  let s = Hashtbl.create 16 in
+  List.iter (fun (i, _) -> Hashtbl.replace s i ()) src.Blif.src_inputs;
+  s
+
+let source_undriven (src : Blif.source) =
+  run_pass "undriven"
+    (fun (src : Blif.source) ->
+  let defs = driver_map src and ins = input_set src in
+  let driven name = Hashtbl.mem defs name || Hashtbl.mem ins name in
+  let reported = Hashtbl.create 16 in
+  let diags = ref [] in
+  let report name loc context =
+    if not (Hashtbl.mem reported name) then begin
+      Hashtbl.replace reported name ();
+      diags :=
+        Diag.diag Diag.Undriven ~loc ~signal:name
+          (Printf.sprintf "signal %S is %s but has no driver" name context)
+        :: !diags
+    end
+  in
+  List.iter
+    (fun (n : Blif.raw_node) ->
+      List.iter
+        (fun i -> if not (driven i) then report i n.Blif.nloc "used as a fanin")
+        n.Blif.ins)
+    src.Blif.nodes;
+  List.iter
+    (fun (o, loc) -> if not (driven o) then report o loc "a primary output")
+    src.Blif.src_outputs;
+      List.rev !diags)
+    src
+
+(* Tarjan's strongly connected components over the driver graph; any
+   component with more than one node — or a self-loop — is a
+   combinational cycle. *)
+let source_cycles (src : Blif.source) =
+  run_pass "cycles"
+    (fun (src : Blif.source) ->
+  let defs = driver_map src in
+  let index = Hashtbl.create 64 and low = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] and counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect name (node : Blif.raw_node) =
+    Hashtbl.replace index name !counter;
+    Hashtbl.replace low name !counter;
+    incr counter;
+    stack := name :: !stack;
+    Hashtbl.replace on_stack name ();
+    List.iter
+      (fun dep ->
+        match Hashtbl.find_opt defs dep with
+        | None -> ()
+        | Some dep_node ->
+          if not (Hashtbl.mem index dep) then begin
+            strongconnect dep dep_node;
+            Hashtbl.replace low name
+              (min (Hashtbl.find low name) (Hashtbl.find low dep))
+          end
+          else if Hashtbl.mem on_stack dep then
+            Hashtbl.replace low name
+              (min (Hashtbl.find low name) (Hashtbl.find index dep)))
+      node.Blif.ins;
+    if Hashtbl.find low name = Hashtbl.find index name then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | top :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack top;
+          if top = name then top :: acc else pop (top :: acc)
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  Hashtbl.iter
+    (fun name node -> if not (Hashtbl.mem index name) then strongconnect name node)
+    defs;
+  let cyclic scc =
+    match scc with
+    | [ single ] -> (
+      match Hashtbl.find_opt defs single with
+      | Some n -> List.mem single n.Blif.ins
+      | None -> false)
+    | _ -> true
+  in
+  !sccs
+  |> List.filter cyclic
+  |> List.map (fun scc ->
+         let scc = List.sort compare scc in
+         let head = List.hd scc in
+         let loc = (Hashtbl.find defs head).Blif.nloc in
+         Diag.diag Diag.Cycle ~loc ~signal:head
+           (Printf.sprintf "combinational cycle through {%s}" (String.concat ", " scc)))
+      |> List.sort Diag.compare)
+    src
+
+let source_structure (src : Blif.source) =
+  run_pass "structure"
+    (fun (src : Blif.source) ->
+  let defs = driver_map src in
+  let outputs = List.map fst src.Blif.src_outputs in
+  let diags = ref [] in
+  if outputs = [] then
+    diags := [ Diag.diag Diag.No_outputs "netlist declares no primary outputs" ];
+  (* Reverse reachability from the outputs over the driver graph. *)
+  let reach = Hashtbl.create 64 in
+  let rec visit name =
+    if not (Hashtbl.mem reach name) then begin
+      Hashtbl.replace reach name ();
+      match Hashtbl.find_opt defs name with
+      | Some n -> List.iter visit n.Blif.ins
+      | None -> ()
+    end
+  in
+  List.iter visit outputs;
+  List.iter
+    (fun (n : Blif.raw_node) ->
+      if outputs <> [] && not (Hashtbl.mem reach n.Blif.out) then
+        diags :=
+          Diag.diag Diag.Dead_cone ~loc:n.Blif.nloc ~signal:n.Blif.out
+            (Printf.sprintf "node %S is unreachable from every primary output"
+               n.Blif.out)
+          :: !diags)
+    src.Blif.nodes;
+  List.iter
+    (fun (i, loc) ->
+      if (not (Hashtbl.mem reach i)) && outputs <> [] then
+        diags :=
+          Diag.diag Diag.Unused_input ~loc ~signal:i
+            (Printf.sprintf "input %S feeds no primary output" i)
+          :: !diags)
+    src.Blif.src_inputs;
+      List.rev !diags)
+    src
+
+(* ------------------------------------------------------------------ *)
+(* Network-level passes                                                *)
+(* ------------------------------------------------------------------ *)
+
+let net_no_outputs net =
+  run_pass "net-no-outputs"
+    (fun net ->
+      if Array.length (Network.outputs net) = 0 then
+        [ Diag.diag Diag.No_outputs "network has no primary outputs" ]
+      else [])
+    net
+
+let net_unused_inputs net =
+  run_pass "net-unused-inputs"
+    (fun net ->
+      let fanouts = Network.fanouts net in
+      let is_output = Array.make (Network.num_signals net) false in
+      Array.iter (fun (_, s) -> is_output.(s) <- true) (Network.outputs net);
+      Array.to_list (Network.inputs net)
+      |> List.filter (fun s -> fanouts.(s) = [] && not is_output.(s))
+      |> List.map (fun s ->
+             Diag.diag Diag.Unused_input ~signal:(Network.name_of net s)
+               (Printf.sprintf "input %S drives no logic and is not an output"
+                  (Network.name_of net s))))
+    net
+
+let net_dead_cones net =
+  run_pass "net-dead-cones"
+    (fun net ->
+      let outs = Array.to_list (Network.output_signals net) in
+      if outs = [] then []
+      else begin
+        let reach = Network.cone net outs in
+        let diags = ref [] in
+        for s = Network.num_signals net - 1 downto 0 do
+          if (not reach.(s)) && not (Network.is_input net s) then
+            diags :=
+              Diag.diag Diag.Dead_cone ~signal:(Network.name_of net s)
+                (Printf.sprintf "node %S is unreachable from every primary output"
+                   (Network.name_of net s))
+              :: !diags
+        done;
+        !diags
+      end)
+    net
+
+(* Bounded constant propagation: fold the known-constant fanins into
+   each node's cover by cofactoring, then test the residual cover for
+   0 / tautology. Exact per node given its fanin constants; cheap —
+   covers are node-sized. *)
+let net_constants net =
+  let n = Network.num_signals net in
+  let const = Array.make n None in
+  Array.iter
+    (fun s ->
+      match Network.node_of net s with
+      | None -> ()
+      | Some nd ->
+        let cover = ref nd.Network.func in
+        Array.iteri
+          (fun i f ->
+            match const.(f) with
+            | Some v -> cover := Logic2.Cover.cofactor !cover i v
+            | None -> ())
+          nd.Network.fanins;
+        if Logic2.Cover.is_zero !cover then const.(s) <- Some false
+        else if Logic2.Cover.is_tautology !cover then const.(s) <- Some true)
+    (Network.topo_order net);
+  const
+
+let net_const_gates net =
+  run_pass "net-const-gates"
+    (fun net ->
+      let const = net_constants net in
+      let diags = ref [] in
+      for s = Network.num_signals net - 1 downto 0 do
+        match const.(s) with
+        | Some v when not (Network.is_input net s) ->
+          diags :=
+            Diag.diag Diag.Const_gate ~signal:(Network.name_of net s)
+              (Printf.sprintf "node %S provably evaluates to constant %d"
+                 (Network.name_of net s)
+                 (if v then 1 else 0))
+            :: !diags
+        | _ -> ()
+      done;
+      !diags)
+    net
+
+(* ------------------------------------------------------------------ *)
+(* Mapped-level passes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mapped_unmapped_gates mc =
+  run_pass "unmapped-gates"
+    (fun mc ->
+      let net = Mapped.network mc in
+      let diags = ref [] in
+      for s = Network.num_signals net - 1 downto 0 do
+        if Network.node_of net s <> None && Mapped.cell_of mc s = None then
+          diags :=
+            Diag.diag Diag.Unmapped_gate ~signal:(Network.name_of net s)
+              (Printf.sprintf "internal node %S carries no library cell"
+                 (Network.name_of net s))
+            :: !diags
+      done;
+      !diags)
+    mc
+
+(* Internal consistency of the timing view: Δ is the maximum per-output
+   arrival and is attained by some output (Δ_y consistency); arrivals
+   are monotone along fanin edges (arrival = worst fanin + own delay);
+   nothing is negative. A violation means a timing bug, not a slow
+   circuit. *)
+let sta_consistency ?model mc =
+  run_pass "sta-consistency"
+    (fun mc ->
+      let sta = Sta.analyze ?model mc in
+      let net = Mapped.network mc in
+      let diags = ref [] in
+      let add d = diags := d :: !diags in
+      let delta = Sta.delta sta in
+      if delta < -.Sta.eps then
+        add
+          (Diag.diag Diag.Sta_negative
+             (Printf.sprintf "critical path delay is negative (%.6f)" delta));
+      let worst = ref 0. in
+      Array.iter
+        (fun (name, s) ->
+          let a = Sta.arrival sta s in
+          worst := Float.max !worst a;
+          if a > delta +. Sta.eps then
+            add
+              (Diag.diag Diag.Sta_delta ~signal:name
+                 (Printf.sprintf
+                    "output %S arrives at %.6f, later than the critical path delay %.6f"
+                    name a delta)))
+        (Network.outputs net);
+      if
+        Array.length (Network.outputs net) > 0
+        && Float.abs (!worst -. delta) > Sta.eps
+      then
+        add
+          (Diag.diag Diag.Sta_delta
+             (Printf.sprintf
+                "critical path delay %.6f is not attained by any output (max arrival \
+                 %.6f)"
+                delta !worst));
+      Array.iter
+        (fun s ->
+          let d = Sta.delay sta s and a = Sta.arrival sta s in
+          if d < -.Sta.eps || a < -.Sta.eps then
+            add
+              (Diag.diag Diag.Sta_negative ~signal:(Network.name_of net s)
+                 (Printf.sprintf "negative delay (%.6f) or arrival (%.6f)" d a));
+          match Network.node_of net s with
+          | None ->
+            if Float.abs a > Sta.eps then
+              add
+                (Diag.diag Diag.Sta_monotone ~signal:(Network.name_of net s)
+                   (Printf.sprintf "primary input arrives at %.6f, expected 0" a))
+          | Some nd ->
+            let worst_in =
+              Array.fold_left
+                (fun acc f -> Float.max acc (Sta.arrival sta f))
+                0. nd.Network.fanins
+            in
+            if Float.abs (a -. (worst_in +. d)) > Sta.eps then
+              add
+                (Diag.diag Diag.Sta_monotone ~signal:(Network.name_of net s)
+                   (Printf.sprintf
+                      "arrival %.6f differs from worst fanin arrival %.6f + delay %.6f"
+                      a worst_in d)))
+        (Network.topo_order net);
+      List.rev !diags)
+    mc

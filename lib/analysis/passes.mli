@@ -1,0 +1,51 @@
+(** The pass library of the static-analysis layer. Each pass is a pure
+    function from an IR to a list of diagnostics; the {!Lint} module
+    composes them into the standard pipelines.
+
+    Source-level passes run on the raw {!Blif.source} form — the only
+    place cycles, undriven and multiply-driven signals can even be
+    represented, since {!Network.t} is acyclic and fully driven by
+    construction. Network- and mapped-level passes run on elaborated
+    IRs and catch semantic defects (dead logic, provable constants,
+    timing inconsistencies). *)
+
+(** {1 Source-level passes (raw BLIF)} *)
+
+val source_multi_driver : Blif.source -> Diag.t list
+(** NET003: a signal driven by two [.names] blocks, a [.names] block
+    driving a declared input, or an input declared twice. *)
+
+val source_undriven : Blif.source -> Diag.t list
+(** NET002: a signal referenced as a fanin or declared as an output
+    with no driver and no input declaration. *)
+
+val source_cycles : Blif.source -> Diag.t list
+(** NET001: combinational cycles, one diagnostic per strongly connected
+    component of the driver graph (Tarjan). *)
+
+val source_structure : Blif.source -> Diag.t list
+(** NET004 unused inputs, NET005 dead cones, NET007 no outputs. *)
+
+(** {1 Network-level passes} *)
+
+val net_no_outputs : Network.t -> Diag.t list
+val net_unused_inputs : Network.t -> Diag.t list
+val net_dead_cones : Network.t -> Diag.t list
+
+val net_constants : Network.t -> bool option array
+(** Bounded constant propagation over the SOP covers ({!Logic2.Cover}
+    cofactoring): [Some v] when the signal provably evaluates to [v]
+    for every input assignment. *)
+
+val net_const_gates : Network.t -> Diag.t list
+(** NET006: internal nodes whose function is provably constant. *)
+
+(** {1 Mapped-level passes} *)
+
+val mapped_unmapped_gates : Mapped.t -> Diag.t list
+(** MAP001: internal nodes with no library cell attached. *)
+
+val sta_consistency : ?model:Sta.delay_model -> Mapped.t -> Diag.t list
+(** STA001/STA002/STA003: Δ agrees with the maximum per-output arrival
+    (Δ_y consistency) and is attained; arrival times are monotone along
+    fanin edges; no negative delays, arrivals or end-of-path slacks. *)
