@@ -7,6 +7,7 @@
      protect   synthesize + verify an error-masking circuit
      wearout   aging sweep with the timing simulator
      trace     trace-buffer window expansion report
+     fuzz      property-based differential fuzzing of the whole stack
 
    Every subcommand accepts --stats (print the instrumentation report:
    span tree, counters, histograms) and --stats-json FILE (write the
@@ -285,6 +286,88 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Trace-buffer window expansion via selective capture")
     Term.(const trace_run $ obs_term $ circuit_arg $ buffer_arg $ cycles_arg)
 
+(* --- fuzz --------------------------------------------------------------- *)
+
+let seed_arg =
+  let doc =
+    "Root seed. Every failure report names (seed, index), which replays the sample \
+     exactly."
+  in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+
+let count_arg =
+  let doc = "Number of random specimens to generate." in
+  Arg.(value & opt int 100 & info [ "count"; "n" ] ~docv:"N" ~doc)
+
+let time_budget_arg =
+  let doc = "Stop after $(docv) seconds of wall clock, even mid-corpus." in
+  Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"S" ~doc)
+
+let oracle_arg =
+  let doc =
+    Printf.sprintf "Run only the named oracle (default: all). One of: %s."
+      (String.concat ", " Fuzz.Oracle.names)
+  in
+  Arg.(value & opt (some string) None & info [ "oracle" ] ~docv:"NAME" ~doc)
+
+let shrink_arg =
+  let doc =
+    "Greedily minimize failing specimens (delete outputs, gates, cover rows, pins) \
+     before writing the repro."
+  in
+  Arg.(value & flag & info [ "shrink" ] ~doc)
+
+let fuzz_out_arg =
+  let doc = "Directory for shrunken repro .blif files (created if missing)." in
+  Arg.(value & opt string "." & info [ "out" ] ~docv:"DIR" ~doc)
+
+let fuzz_run obs seed count time_budget oracle shrink out =
+  let code =
+    with_obs obs "fuzz" @@ fun () ->
+    let oracles =
+      match oracle with
+      | None -> Fuzz.Oracle.all
+      | Some name -> (
+        match Fuzz.Oracle.find name with
+        | Some o -> [ o ]
+        | None ->
+          Printf.eprintf "unknown oracle %S (have: %s)\n" name
+            (String.concat ", " Fuzz.Oracle.names);
+          exit 2)
+    in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    let config =
+      {
+        Fuzz.Driver.default_config with
+        seed;
+        count;
+        time_budget;
+        oracles;
+        shrink;
+        out_dir = Some out;
+      }
+    in
+    let summary = Fuzz.Driver.run config in
+    List.iter
+      (fun o ->
+        Printf.printf "  oracle %-16s %s\n" o.Fuzz.Oracle.name o.Fuzz.Oracle.describe)
+      oracles;
+    if summary.Fuzz.Driver.failures = [] then 0 else 1
+  in
+  if code <> 0 then exit code
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Property-based differential fuzzing: random netlists (including degenerate \
+          shapes) are cross-checked through the SPCF algorithms, the simulators, the \
+          static timing bounds, the masking synthesis and the BLIF round-trip; \
+          failures are shrunk to minimal repro netlists")
+    Term.(
+      const fuzz_run $ obs_term $ seed_arg $ count_arg $ time_budget_arg $ oracle_arg
+      $ shrink_arg $ fuzz_out_arg)
+
 let () =
   let info =
     Cmd.info "emask" ~version:"1.0.0"
@@ -293,4 +376,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; lint_cmd; spcf_cmd; protect_cmd; wearout_cmd; trace_cmd ]))
+          [ list_cmd; lint_cmd; spcf_cmd; protect_cmd; wearout_cmd; trace_cmd; fuzz_cmd ]))

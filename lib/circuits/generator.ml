@@ -144,6 +144,15 @@ type region = {
 }
 
 let generate p =
+  (* Validate up front: hostile parameters used to die as bare assertion
+     failures deep inside the pool machinery (found by the fuzzer). *)
+  if p.n_pi <= 0 then
+    invalid_arg (Printf.sprintf "Generator.generate %s: n_pi must be positive" p.name);
+  if p.n_po < 0 then
+    invalid_arg (Printf.sprintf "Generator.generate %s: n_po must be non-negative" p.name);
+  if p.max_support <= 0 then
+    invalid_arg
+      (Printf.sprintf "Generator.generate %s: max_support must be positive" p.name);
   let rng = Util.Rng.create p.seed in
   let net = Network.create () in
   let node_counter = ref 0 in

@@ -22,5 +22,11 @@ type params = {
 val default_params : params
 
 val generate : params -> Network.t
-(** Deterministic in [params.seed]. Outputs number exactly [n_po]; all
-    generated logic is reachable from the outputs. *)
+(** Deterministic in [params.seed]. Outputs number exactly [n_po]:
+    when the generated logic has fewer open signals than [n_po], the
+    remaining outputs are wire copies of random internal signals, and
+    when it has more, the surplus stays in the network as dead cones
+    (flagged by the NET005 lint but otherwise harmless). Raises
+    [Invalid_argument] on [n_pi <= 0], [n_po < 0] or
+    [max_support <= 0]; [n_nodes <= 0] yields the minimal merge/chain
+    skeleton over the inputs. *)

@@ -1,0 +1,149 @@
+(* The fuzzing loop. Specimens alternate between fresh generation and
+   mutation of the previous specimen (mutation walks reach shapes the
+   grammar's one-shot distribution rarely produces). Each sample's
+   randomness comes from Rng.child root index, so (seed, index) replays
+   a failure exactly. *)
+
+type config = {
+  seed : int;
+  count : int;
+  time_budget : float option;
+  oracles : Oracle.t list;
+  shrink : bool;
+  out_dir : string option;
+  params : Gen.params;
+}
+
+let default_config =
+  {
+    seed = 0;
+    count = 100;
+    time_budget = None;
+    oracles = Oracle.all;
+    shrink = true;
+    out_dir = None;
+    params = Gen.default_params;
+  }
+
+type failure = {
+  oracle : string;
+  index : int;
+  message : string;
+  gates : int;
+  spec : Gen.spec;
+  repro : string option;
+}
+
+type summary = {
+  samples : int;
+  checks : int;
+  skips : int;
+  failures : failure list;
+  elapsed : float;
+}
+
+let sanitize msg =
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) msg
+
+let repro_blif ~oracle ~seed ~index ~message spec =
+  Printf.sprintf
+    "# emask fuzz repro\n# oracle: %s\n# seed: %d  index: %d\n# %s\n%s" oracle seed
+    index (sanitize message)
+    (Blif.to_string ~model:(Printf.sprintf "fuzz_%s_%d_%d" oracle seed index)
+       (Gen.network spec))
+
+let write_repro ~dir ~oracle ~seed ~index ~message spec =
+  let path = Filename.concat dir (Printf.sprintf "fuzz-%s-seed%d-%d.blif" oracle seed index) in
+  let oc = open_out path in
+  output_string oc (repro_blif ~oracle ~seed ~index ~message spec);
+  close_out oc;
+  path
+
+(* Re-running an oracle during shrinking needs fresh-but-deterministic
+   pattern randomness: the stream is a fixed child of the sample's. *)
+let still_fails oracle ~sample_rng spec =
+  let rng = Rng.base (Rng.child sample_rng 0x51412) in
+  match Oracle.run oracle ~rng (Gen.network spec) with Oracle.Fail _ -> true | _ -> false
+
+let run ?(log = print_endline) config =
+  let t0 = Obs.now () in
+  let root = Rng.create ~seed:config.seed in
+  let checks = ref 0 and skips = ref 0 and samples = ref 0 in
+  let failures = ref [] in
+  let prev = ref None in
+  let budget_left () =
+    match config.time_budget with
+    | None -> true
+    | Some s -> Obs.now () -. t0 < s
+  in
+  let i = ref 0 in
+  while !i < config.count && budget_left () do
+    let index = !i in
+    let sample_rng = Rng.child root index in
+    let spec =
+      Obs.with_span "fuzz.gen" (fun () ->
+          match !prev with
+          | Some p when index > 0 && Rng.float sample_rng < 0.4 ->
+            Gen.mutate sample_rng p
+          | _ -> Gen.generate ~params:config.params sample_rng)
+    in
+    prev := Some spec;
+    incr samples;
+    let net = Gen.network spec in
+    List.iter
+      (fun oracle ->
+        if budget_left () then begin
+          incr checks;
+          let rng = Rng.base (Rng.child sample_rng 0x51412) in
+          match
+            Obs.with_span ("fuzz.oracle." ^ oracle.Oracle.name) (fun () ->
+                Oracle.run oracle ~rng net)
+          with
+          | Oracle.Pass -> ()
+          | Oracle.Skip _ -> incr skips
+          | Oracle.Fail message ->
+            log
+              (Printf.sprintf "FAIL %s: seed=%d index=%d gates=%d: %s"
+                 oracle.Oracle.name config.seed index (Gen.num_gates spec)
+                 (sanitize message));
+            let spec, evals =
+              if config.shrink then
+                Obs.with_span "fuzz.shrink" (fun () ->
+                    Shrink.shrink ~fails:(still_fails oracle ~sample_rng) spec)
+              else (spec, 0)
+            in
+            if config.shrink then
+              log
+                (Printf.sprintf "  shrunk to %d gates / %d inputs (%d oracle runs)"
+                   (Gen.num_gates spec) spec.Gen.n_pi evals);
+            let repro =
+              Option.map
+                (fun dir ->
+                  let path =
+                    write_repro ~dir ~oracle:oracle.Oracle.name ~seed:config.seed
+                      ~index ~message spec
+                  in
+                  log (Printf.sprintf "  repro written to %s" path);
+                  path)
+                config.out_dir
+            in
+            failures :=
+              {
+                oracle = oracle.Oracle.name;
+                index;
+                message;
+                gates = Gen.num_gates spec;
+                spec;
+                repro;
+              }
+              :: !failures
+        end)
+      config.oracles;
+    incr i
+  done;
+  let elapsed = Obs.now () -. t0 in
+  let failures = List.rev !failures in
+  log
+    (Printf.sprintf "fuzz: %d samples, %d oracle runs, %d skips, %d failures (%.1fs, seed %d)"
+       !samples !checks !skips (List.length failures) elapsed config.seed);
+  { samples = !samples; checks = !checks; skips = !skips; failures; elapsed }

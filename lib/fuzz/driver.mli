@@ -1,0 +1,45 @@
+(** The fuzzing loop: generate (or mutate) a specimen, run the oracle
+    catalogue, shrink failures, write repro netlists.
+
+    Every sample [i] draws its randomness from [Rng.child root i], so a
+    failure is replayed from [(seed, index)] alone; the header of every
+    repro [.blif] names the oracle, the root seed, and the index. *)
+
+type config = {
+  seed : int;  (** root seed; every report names it *)
+  count : int;  (** samples to run (ignored when the budget ends first) *)
+  time_budget : float option;  (** wall-clock budget in seconds *)
+  oracles : Oracle.t list;  (** the checks to run on every sample *)
+  shrink : bool;  (** minimize failing specimens before reporting *)
+  out_dir : string option;  (** where repro [.blif] files go; [None] = no files *)
+  params : Gen.params;  (** specimen size envelope *)
+}
+
+val default_config : config
+(** Seed 0, 100 samples, no budget, all oracles, shrinking on, no
+    repro directory. *)
+
+type failure = {
+  oracle : string;
+  index : int;  (** sample index under the root seed *)
+  message : string;  (** the oracle's disagreement message *)
+  gates : int;  (** gate count of the (shrunken) repro *)
+  spec : Gen.spec;  (** the (shrunken) reproducing specimen *)
+  repro : string option;  (** path of the written [.blif], if any *)
+}
+
+type summary = {
+  samples : int;  (** specimens generated *)
+  checks : int;  (** oracle executions (excluding shrinking) *)
+  skips : int;  (** oracle skips (specimen outside an envelope) *)
+  failures : failure list;  (** in discovery order *)
+  elapsed : float;  (** wall-clock seconds *)
+}
+
+val run : ?log:(string -> unit) -> config -> summary
+(** [log] receives one line per failure (seed, index, oracle, message)
+    and a final tally; default prints to stdout. *)
+
+val repro_blif : oracle:string -> seed:int -> index:int -> message:string -> Gen.spec -> string
+(** The repro file contents: a comment header naming the oracle, root
+    seed, sample index and message, followed by the netlist in BLIF. *)

@@ -1,0 +1,159 @@
+(* Grammar- and mutation-based specimen generator. Specs are flat so
+   the mutator and the shrinker can do structural surgery; Network.t is
+   only built at the oracle boundary. *)
+
+type node = { fanins : int array; func : Logic2.Cover.t }
+type spec = { n_pi : int; nodes : node array; outputs : int array }
+type params = { max_pi : int; max_nodes : int; max_outputs : int }
+
+let default_params = { max_pi = 8; max_nodes = 24; max_outputs = 4 }
+let num_gates spec = Array.length spec.nodes
+
+(* ---------- random covers ---------- *)
+
+let random_cube rng k ~p_lit =
+  let lits = ref [] in
+  for v = 0 to k - 1 do
+    if Rng.float rng < p_lit then lits := (v, Rng.bool rng) :: !lits
+  done;
+  match !lits with
+  | [] -> Logic2.Cube.universe k
+  | lits -> Logic2.Cube.make k lits
+
+(* A random cover over [k] fanins, including the degenerate shapes the
+   strict Generator refuses: constants, tautologies, covers that ignore
+   some (or all) fanins. *)
+let random_cover rng k =
+  match Rng.int rng 14 with
+  | 0 -> Logic2.Cover.zero k (* constant-0 node *)
+  | 1 -> Logic2.Cover.one k (* constant-1 node *)
+  | 2 ->
+    (* single wide product (AND-like) *)
+    Logic2.Cover.of_cubes k
+      [ Logic2.Cube.make k (List.init k (fun v -> (v, Rng.bool rng))) ]
+  | 3 ->
+    (* OR of single literals *)
+    Logic2.Cover.of_cubes k (List.init k (fun v -> Logic2.Cube.make k [ (v, Rng.bool rng) ]))
+  | 4 when k >= 2 ->
+    (* XOR of the first two fanins (ignores the rest) *)
+    Logic2.Cover.of_cubes k
+      [
+        Logic2.Cube.make k [ (0, true); (1, false) ];
+        Logic2.Cube.make k [ (0, false); (1, true) ];
+      ]
+  | _ ->
+    let n_cubes = 1 + Rng.int rng 4 in
+    Logic2.Cover.of_cubes k (List.init n_cubes (fun _ -> random_cube rng k ~p_lit:0.55))
+
+(* Fanins are biased towards recent signals (deep chains) and may
+   repeat (duplicate pins — a shape the suite circuits never contain). *)
+let random_fanins rng ~avail ~k =
+  Array.init k (fun _ ->
+      if avail > 3 && Rng.float rng < 0.5 then avail - 1 - Rng.int rng (min 4 avail)
+      else Rng.int rng avail)
+
+let random_node rng ~avail =
+  let k_wish =
+    match Rng.int rng 12 with
+    | 0 -> 1 (* buffer / inverter / 1-var constant *)
+    | 1 | 2 | 3 | 4 -> 2
+    | 5 | 6 | 7 -> 3
+    | 8 | 9 -> 4
+    | 10 -> 5 + Rng.int rng 2
+    | _ -> 7 + Rng.int rng 2 (* wide fanin *)
+  in
+  let k = max 1 (min k_wish avail) in
+  { fanins = random_fanins rng ~avail ~k; func = random_cover rng k }
+
+let generate ?(params = default_params) rng =
+  let n_pi = 1 + Rng.int rng params.max_pi in
+  let n_nodes = Rng.int rng (params.max_nodes + 1) in
+  let nodes = Array.init n_nodes (fun i -> random_node rng ~avail:(n_pi + i)) in
+  let total = n_pi + n_nodes in
+  let n_po = 1 + Rng.int rng params.max_outputs in
+  let outputs =
+    Array.init n_po (fun i ->
+        if i = 0 && n_nodes > 0 then total - 1 (* the deepest node is always observed *)
+        else Rng.int rng total)
+  in
+  { n_pi; nodes; outputs }
+
+(* ---------- mutation ---------- *)
+
+let mutate rng spec =
+  let nodes = ref (Array.copy spec.nodes) in
+  let outputs = ref (Array.copy spec.outputs) in
+  let n_pi = spec.n_pi in
+  let n_edits = 1 + Rng.int rng 3 in
+  for _ = 1 to n_edits do
+    let n_nodes = Array.length !nodes in
+    let total = n_pi + n_nodes in
+    match Rng.int rng 6 with
+    | 0 when n_nodes > 0 ->
+      (* refunction a node *)
+      let i = Rng.int rng n_nodes in
+      let n = (!nodes).(i) in
+      let k = Array.length n.fanins in
+      (!nodes).(i) <- { n with func = random_cover rng k }
+    | 1 when n_nodes > 0 ->
+      (* rewire one fanin (possibly creating a duplicate pin) *)
+      let i = Rng.int rng n_nodes in
+      let n = (!nodes).(i) in
+      let fanins = Array.copy n.fanins in
+      let j = Rng.int rng (Array.length fanins) in
+      fanins.(j) <- Rng.int rng (n_pi + i);
+      (!nodes).(i) <- { n with fanins }
+    | 2 ->
+      (* append a node and observe it *)
+      nodes := Array.append !nodes [| random_node rng ~avail:total |];
+      outputs := Array.append !outputs [| total |]
+    | 3 ->
+      (* retarget an output *)
+      let o = !outputs in
+      o.(Rng.int rng (Array.length o)) <- Rng.int rng total
+    | 4 when Array.length !outputs > 1 ->
+      (* drop an output *)
+      let o = !outputs in
+      let i = Rng.int rng (Array.length o) in
+      outputs :=
+        Array.init
+          (Array.length o - 1)
+          (fun j -> if j < i then o.(j) else o.(j + 1))
+    | _ ->
+      (* duplicate an output (same signal observed twice) *)
+      outputs := Array.append !outputs [| Rng.pick rng !outputs |]
+  done;
+  { n_pi; nodes = !nodes; outputs = !outputs }
+
+(* ---------- lowering ---------- *)
+
+let network spec =
+  let net = Network.create () in
+  let total = spec.n_pi + Array.length spec.nodes in
+  let signals = Array.make (max total 1) (-1) in
+  for i = 0 to spec.n_pi - 1 do
+    signals.(i) <- Network.add_input net (Printf.sprintf "pi%d" i)
+  done;
+  Array.iteri
+    (fun i n ->
+      let fanins = Array.map (fun f -> signals.(f)) n.fanins in
+      signals.(spec.n_pi + i) <-
+        Network.add_node net (Printf.sprintf "g%d" i) ~fanins ~func:n.func)
+    spec.nodes;
+  Array.iteri
+    (fun i o -> Network.mark_output net ~name:(Printf.sprintf "po%d" i) signals.(o))
+    spec.outputs;
+  net
+
+let pp fmt spec =
+  Format.fprintf fmt "@[<v>spec: %d PI, %d nodes, %d outputs@," spec.n_pi
+    (Array.length spec.nodes) (Array.length spec.outputs);
+  Array.iteri
+    (fun i n ->
+      Format.fprintf fmt "  g%d(%s) cubes=%d@," i
+        (String.concat ","
+           (List.map string_of_int (Array.to_list n.fanins)))
+        (Logic2.Cover.num_cubes n.func))
+    spec.nodes;
+  Format.fprintf fmt "  outputs: %s@]"
+    (String.concat "," (List.map string_of_int (Array.to_list spec.outputs)))

@@ -1,0 +1,49 @@
+(** Random netlist specimens for differential fuzzing.
+
+    Specimens are kept in a flat {!spec} form — primary inputs
+    [0 .. n_pi-1], then nodes in topological order, each a fanin array
+    over earlier signals plus an SOP cover — because both the mutator
+    and the shrinker need cheap structural surgery that the sealed
+    {!Network.t} does not allow. {!network} lowers a spec to a real
+    network (names [pi%d] / [g%d] / outputs [po%d]).
+
+    The generator deliberately goes beyond {!Generator.generate}: it
+    emits the degenerate shapes real netlists (and real parser bugs)
+    contain — constant-0/constant-1 covers, single-input gates
+    (buffers, inverters, constants of one variable), duplicate fanins
+    (the same signal wired to two pins), tautological and empty covers,
+    wide fanin (up to 8), deep chains with reconvergent fanout,
+    outputs that alias primary inputs or repeat a signal. *)
+
+type node = { fanins : int array; func : Logic2.Cover.t }
+(** [fanins.(v)] is the signal cover variable [v] refers to; every
+    fanin precedes the node itself in signal order. *)
+
+type spec = { n_pi : int; nodes : node array; outputs : int array }
+(** Signals are [0 .. n_pi-1] (primary inputs) followed by
+    [n_pi + i] for node [i]. [outputs] lists observed signals (at
+    least one; duplicates and direct PI observations allowed). *)
+
+type params = {
+  max_pi : int;  (** inclusive upper bound on primary inputs (≥ 1) *)
+  max_nodes : int;  (** upper bound on node count (0 allowed: wire-only nets) *)
+  max_outputs : int;  (** inclusive upper bound on observed outputs *)
+}
+
+val default_params : params
+(** 8 inputs, 24 nodes, 4 outputs — small enough that every oracle can
+    afford exhaustive or near-exhaustive cross-checking. *)
+
+val generate : ?params:params -> Rng.t -> spec
+(** A fresh random specimen (grammar-based). *)
+
+val mutate : Rng.t -> spec -> spec
+(** 1–3 random edits of an existing specimen: refunction a node, rewire
+    a fanin (possibly duplicating another), retarget / drop / duplicate
+    an output, append an observed node. Invariants are preserved. *)
+
+val network : spec -> Network.t
+(** Lower to a {!Network.t}; deterministic in the spec. *)
+
+val num_gates : spec -> int
+val pp : Format.formatter -> spec -> unit

@@ -1,0 +1,340 @@
+(* The differential-oracle catalogue. Each oracle re-derives one result
+   through at least two independent implementations and fails on any
+   disagreement; exceptions escaping a body are findings too (run
+   converts them to Fail). *)
+
+type outcome = Pass | Fail of string | Skip of string
+
+type t = {
+  name : string;
+  describe : string;
+  check : rng:Util.Rng.t -> Network.t -> outcome;
+}
+
+let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
+
+(* A specimen large enough to make the BDD-backed oracles expensive is
+   outside the fuzzing envelope (the generator never produces one, but
+   user-supplied mutations might). *)
+let too_large net = Network.num_nodes net > 80 || Array.length (Network.inputs net) > 12
+
+(* ---------- spcf-equal ---------- *)
+
+(* The Table-1 invariant: short-path ≡ path-based ≡ parallel(jobs=2),
+   node-based ⊇ exact, at a routine and a near-zero-slack target. All
+   four results live in the same BDD manager, so "identical function"
+   is handle equality and containment is one band/bnot. *)
+let spcf_equal ~rng:_ net =
+  if too_large net then Skip "too large for SPCF cross-check"
+  else begin
+    let mc = Mapper.map net in
+    let ctx = Spcf.Ctx.create mc in
+    let man = ctx.Spcf.Ctx.man in
+    let check_theta theta =
+      let target = Spcf.Ctx.target_of_theta ctx theta in
+      let short = Spcf.Exact.short_path ctx ~target in
+      let path = Spcf.Exact.path_based ctx ~target in
+      let par = Spcf.Parallel.short_path ~jobs:2 ctx ~target in
+      let node = Spcf.Node_based.compute ctx ~target in
+      let names r =
+        String.concat "," (List.map (fun (n, _, _) -> n) r.Spcf.Ctx.outputs)
+      in
+      let against tag (r : Spcf.Ctx.result) =
+        if names short <> names r then
+          failf "theta=%.3f: critical outputs differ (short=[%s] %s=[%s])" theta
+            (names short) tag (names r)
+        else
+          let mismatch =
+            List.find_opt
+              (fun ((_, _, a), (_, _, b)) -> a <> b)
+              (List.combine short.Spcf.Ctx.outputs r.Spcf.Ctx.outputs)
+          in
+          match mismatch with
+          | Some ((o, _, _), _) ->
+            failf "theta=%.3f: SPCF of %s differs between short-path and %s" theta o tag
+          | None -> Pass
+      in
+      let superset () =
+        if names short <> names node then
+          failf "theta=%.3f: critical outputs differ (short=[%s] node=[%s])" theta
+            (names short) (names node)
+        else
+          let bad =
+            List.find_opt
+              (fun ((_, _, exact), (_, _, over)) ->
+                Bdd.band man exact (Bdd.bnot man over) <> Bdd.bfalse)
+              (List.combine short.Spcf.Ctx.outputs node.Spcf.Ctx.outputs)
+          in
+          match bad with
+          | Some ((o, _, _), _) ->
+            failf "theta=%.3f: node-based SPCF of %s is not a superset of the exact SPCF"
+              theta o
+          | None
+            when Bdd.band man short.Spcf.Ctx.union (Bdd.bnot man node.Spcf.Ctx.union)
+                 <> Bdd.bfalse ->
+            failf "theta=%.3f: node-based union is not a superset" theta
+          | None -> Pass
+      in
+      List.fold_left
+        (fun acc r -> match acc with Pass -> r () | other -> other)
+        Pass
+        [
+          (fun () -> against "path-based" path);
+          (fun () -> against "parallel" par);
+          superset;
+        ]
+    in
+    match check_theta 0.9 with Pass -> check_theta 0.995 | other -> other
+  end
+
+(* ---------- bdd-sim ---------- *)
+
+(* Global BDDs vs bit-parallel simulation vs scalar evaluation,
+   exhaustive over the input space (specimens have at most 8 inputs;
+   12 is the hard cap). *)
+let bdd_vs_sim ~rng:_ net =
+  let n = Array.length (Network.inputs net) in
+  if n > 12 then Skip "too many inputs for exhaustive comparison"
+  else begin
+    let man, funcs = Network.to_bdds net in
+    let sim = Bitsim.prepare net in
+    let nsig = Network.num_signals net in
+    let npat = 1 lsl n in
+    let result = ref Pass in
+    let base = ref 0 in
+    while !result = Pass && !base < npat do
+      let lo = !base in
+      let cnt = min 62 (npat - lo) in
+      let pi_words =
+        Array.init n (fun v ->
+            let w = ref 0 in
+            for b = 0 to cnt - 1 do
+              if (lo + b) lsr v land 1 = 1 then w := !w lor (1 lsl b)
+            done;
+            !w)
+      in
+      let words = Bitsim.eval_word sim pi_words in
+      for b = 0 to cnt - 1 do
+        if !result = Pass then begin
+          let env = Array.init n (fun v -> (lo + b) lsr v land 1 = 1) in
+          let vals = Network.eval net env in
+          for s = 0 to nsig - 1 do
+            if !result = Pass then begin
+              let from_sim = words.(s) lsr b land 1 = 1 in
+              let from_eval = vals.(s) in
+              let from_bdd = Bdd.eval man funcs.(s) env in
+              if from_sim <> from_eval || from_bdd <> from_eval then
+                result :=
+                  failf "signal %s pattern %d: eval=%b bitsim=%b bdd=%b"
+                    (Network.name_of net s) (lo + b) from_eval from_sim from_bdd
+            end
+          done
+        end
+      done;
+      base := lo + cnt
+    done;
+    !result
+  end
+
+(* ---------- tsim-sta ---------- *)
+
+(* Event-driven timing simulation against the STA bounds: no signal
+   changes after its structural arrival time, sampling at Δ captures
+   the settled (zero-delay) values, and nothing settles after the
+   latest arrival anywhere. (Δ itself only bounds the *outputs* —
+   logic outside every output cone may legitimately settle later.) *)
+let tsim_vs_sta ~rng net =
+  let mc = Mapper.map net in
+  let sta = Sta.analyze ~model:Sta.Library mc in
+  let delays = Sta.gate_delays Sta.Library mc in
+  let delta = Sta.delta sta in
+  let mnet = Mapped.network mc in
+  let n = Array.length (Network.inputs mnet) in
+  let nsig = Network.num_signals mnet in
+  let latest = ref 0. in
+  for s = 0 to nsig - 1 do
+    latest := Float.max !latest (Sta.arrival sta s)
+  done;
+  let result = ref Pass in
+  for _round = 1 to 6 do
+    if !result = Pass then begin
+      let from_ = Array.init n (fun _ -> Util.Rng.bool rng) in
+      let to_ = Array.init n (fun _ -> Util.Rng.bool rng) in
+      let r = Tsim.simulate mc ~delays ~from_ ~to_ ~clock:(delta +. Sta.eps) in
+      if r.Tsim.settle > !latest +. Sta.eps then
+        result := failf "settle %.4f after latest STA arrival %.4f" r.Tsim.settle !latest
+      else begin
+        let vals = Network.eval mnet to_ in
+        for s = 0 to nsig - 1 do
+          if !result = Pass then
+            if r.Tsim.last_change.(s) > Sta.arrival sta s +. Sta.eps then
+              result :=
+                failf "signal %s changed at %.4f, after its STA arrival %.4f"
+                  (Network.name_of mnet s) r.Tsim.last_change.(s) (Sta.arrival sta s)
+            else if r.Tsim.final.(s) <> vals.(s) then
+              result :=
+                failf "signal %s settled to %b but evaluates to %b"
+                  (Network.name_of mnet s) r.Tsim.final.(s) vals.(s)
+        done;
+        if !result = Pass then
+          match Tsim.output_errors mc r with
+          | [] -> ()
+          | (o, _) :: _ ->
+            result := failf "output %s mis-captured when sampling at Delta" o
+      end
+    end
+  done;
+  !result
+
+(* ---------- pattern-arrival ---------- *)
+
+(* The exact floating-mode reference semantics per pattern, and (when
+   the input space is small) the floating delay as the max per-pattern
+   arrival. *)
+let pattern_arrival ~rng net =
+  if too_large net then Skip "too large for pattern-arrival cross-check"
+  else begin
+    let mc = Mapper.map net in
+    let ctx = Spcf.Ctx.create mc in
+    let mnet = Mapped.network mc in
+    let n = Array.length (Network.inputs mnet) in
+    let nsig = Network.num_signals mnet in
+    let exhaustive = n <= 6 in
+    let patterns =
+      if exhaustive then
+        List.init (1 lsl n) (fun i -> Array.init n (fun v -> i lsr v land 1 = 1))
+      else List.init 8 (fun _ -> Array.init n (fun _ -> Util.Rng.bool rng))
+    in
+    let result = ref Pass in
+    let max_arrival = Array.make nsig 0 in
+    List.iter
+      (fun pat ->
+        if !result = Pass then begin
+          let values, arrivals = Spcf.Exact.pattern_arrivals ctx pat in
+          let vals = Network.eval mnet pat in
+          for s = 0 to nsig - 1 do
+            max_arrival.(s) <- max max_arrival.(s) arrivals.(s);
+            if !result = Pass then
+              if values.(s) <> vals.(s) then
+                result :=
+                  failf "signal %s: pattern value %b vs evaluation %b"
+                    (Network.name_of mnet s) values.(s) vals.(s)
+              else if arrivals.(s) > ctx.Spcf.Ctx.arrival_units.(s) then
+                result :=
+                  failf "signal %s: floating arrival %d exceeds structural arrival %d"
+                    (Network.name_of mnet s) arrivals.(s)
+                    ctx.Spcf.Ctx.arrival_units.(s)
+          done
+        end)
+      patterns;
+    if !result = Pass && exhaustive then
+      Array.iter
+        (fun (o, s) ->
+          if !result = Pass then begin
+            let fd = Spcf.Ctx.units_of_delay (Spcf.Exact.floating_delay ctx s) in
+            if fd <> max_arrival.(s) then
+              result :=
+                failf "output %s: floating delay %d vs max pattern arrival %d" o fd
+                  max_arrival.(s)
+          end)
+        (Network.outputs mnet);
+    !result
+  end
+
+(* ---------- masking ---------- *)
+
+(* End-to-end synthesis: equivalence of the masked circuit, the paper's
+   Σ ⊆ e ⊆ (ỹ = y) interval, and the masking-contract lints (minus the
+   slack margin, which is a quality target rather than an invariant on
+   adversarial specimens). *)
+let masking ~rng:_ net =
+  if too_large net then Skip "too large for synthesis cross-check"
+  else begin
+    let m = Masking.Synthesis.synthesize net in
+    let r = Masking.Verify.check ~power_rounds:8 m in
+    if not r.Masking.Verify.equivalent then
+      Fail "masked circuit is not equivalent to the original"
+    else if not r.Masking.Verify.coverage_ok then
+      Fail "indicator does not cover the SPCF (sigma not a subset of e)"
+    else if not r.Masking.Verify.prediction_ok then
+      Fail "prediction unsound (e not a subset of (ytilde = y))"
+    else begin
+      let diags =
+        Analysis.Contract.check_mux_insertion m
+        @ Analysis.Contract.check_non_intrusive m
+        @ Analysis.Contract.check_indicator_soundness m
+      in
+      match Analysis.Diag.errors diags with
+      | [] -> Pass
+      | d :: _ -> Fail (Analysis.Diag.to_string d)
+    end
+  end
+
+(* ---------- blif-roundtrip ---------- *)
+
+(* parse ∘ print preserves the function, and printing reaches a
+   fixpoint after one round (the first print may introduce pass-through
+   nodes for renamed outputs and drop dead cones). *)
+let blif_roundtrip ~rng:_ net =
+  let s1 = Blif.to_string ~model:"fuzz" net in
+  let n2 =
+    try Blif.parse s1
+    with Blif.Parse_error msg ->
+      raise (Failure (Printf.sprintf "printed netlist does not re-parse: %s" msg))
+  in
+  if not (Network.equivalent net n2) then
+    Fail "parse(print(net)) is not equivalent to net"
+  else begin
+    let s2 = Blif.to_string ~model:"fuzz" n2 in
+    let n3 = Blif.parse s2 in
+    if not (Network.equivalent n2 n3) then
+      Fail "second parse/print round changes the function"
+    else if Blif.to_string ~model:"fuzz" n3 <> s2 then
+      Fail "printing does not reach a fixpoint after one round"
+    else Pass
+  end
+
+(* ---------- catalogue ---------- *)
+
+let all =
+  [
+    {
+      name = "spcf-equal";
+      describe =
+        "short-path = path-based = parallel SPCF; node-based is a superset (Table 1)";
+      check = spcf_equal;
+    };
+    {
+      name = "bdd-sim";
+      describe = "global BDDs vs bit-parallel simulation vs evaluation, exhaustive";
+      check = bdd_vs_sim;
+    };
+    {
+      name = "tsim-sta";
+      describe = "event-driven timing simulation within STA bounds; Delta-sampling safe";
+      check = tsim_vs_sta;
+    };
+    {
+      name = "pattern-arrival";
+      describe = "floating-mode per-pattern arrivals vs structural bounds and evaluation";
+      check = pattern_arrival;
+    };
+    {
+      name = "masking";
+      describe = "synthesized masker: equivalence, sigma <= e <= (ytilde = y), contract lints";
+      check = masking;
+    };
+    {
+      name = "blif-roundtrip";
+      describe = "BLIF parse/print round-trip preserves the function; printing is a fixpoint";
+      check = blif_roundtrip;
+    };
+  ]
+
+let names = List.map (fun o -> o.name) all
+let find name = List.find_opt (fun o -> o.name = name) all
+
+let run o ~rng net =
+  try o.check ~rng net with
+  | e ->
+    Fail (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))

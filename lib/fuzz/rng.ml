@@ -1,0 +1,33 @@
+(* All fuzzing randomness descends from one root seed through Util.Rng
+   (splitmix64). Child streams are pure functions of (root, index) so a
+   failing sample replays without regenerating its predecessors. *)
+
+type t = { root : int; rng : Util.Rng.t }
+
+let create ~seed = { root = seed; rng = Util.Rng.create seed }
+let seed t = t.root
+
+(* Distinct odd multiplier keeps sibling streams decorrelated; the
+   splitmix64 finalizer inside Util.Rng does the heavy mixing. *)
+let child t i = { root = t.root; rng = Util.Rng.create (t.root lxor (((2 * i) + 1) * 0x2545F491)) }
+let base t = t.rng
+let int t bound = Util.Rng.int t.rng bound
+let bool t = Util.Rng.bool t.rng
+let float t = Util.Rng.float t.rng
+let pick t a = Util.Rng.pick t.rng a
+let shuffle t a = Util.Rng.shuffle t.rng a
+
+let qcheck_announced = ref false
+
+let qcheck_state () =
+  let default = 0x5EED in
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> ( try int_of_string (String.trim s) with _ -> default)
+    | None -> default
+  in
+  if not !qcheck_announced then begin
+    qcheck_announced := true;
+    Printf.eprintf "[fuzz] qcheck seed: %d (override with QCHECK_SEED)\n%!" seed
+  end;
+  Random.State.make [| seed |]

@@ -1,0 +1,44 @@
+(** The fuzzing subsystem's single randomness source.
+
+    Every random decision of the fuzzer — specimen generation, mutation,
+    oracle pattern sampling — flows through one of these generators, and
+    every generator descends deterministically from one integer root
+    seed. A failure report therefore only ever needs to name [(root
+    seed, sample index)] to be replayed bit-for-bit; there is no
+    [Random.self_init] or wall-clock seeding anywhere in the fuzzing
+    path.
+
+    The underlying stream is {!Util.Rng} (splitmix64), the repository's
+    global deterministic source. *)
+
+type t
+
+val create : seed:int -> t
+(** A root generator. *)
+
+val seed : t -> int
+(** The root seed this generator descends from (printed in every
+    failure report). *)
+
+val child : t -> int -> t
+(** [child t i] is the [i]-th independent substream — a pure function
+    of [(seed t, i)], unaffected by how much of [t] has been consumed.
+    The driver gives sample [i] the stream [child root i], so any
+    sample can be replayed without regenerating its predecessors. *)
+
+val base : t -> Util.Rng.t
+(** The underlying stream, for library APIs that take a {!Util.Rng.t}. *)
+
+val int : t -> int -> int
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+val float : t -> float
+val pick : t -> 'a array -> 'a
+val shuffle : t -> 'a array -> unit
+
+val qcheck_state : unit -> Random.State.t
+(** A deterministic [Random.State.t] for QCheck-based property tests:
+    seeded from [QCHECK_SEED] when set, else a fixed default, with the
+    chosen seed printed to stderr so every reported counterexample is
+    reproducible. This replaces QCheck's wall-clock self-seeding. *)

@@ -1,0 +1,142 @@
+(* Greedy delta-debugging over Gen.spec: try one structural reduction
+   at a time, keep it iff the oracle still fails, repeat to fixpoint.
+   Reductions preserve the spec invariants (fanins precede their node,
+   at least one output, at least one primary input, fanin arity >= 1),
+   so every intermediate candidate is a well-formed netlist. *)
+
+open Gen
+
+let remove_idx a i =
+  Array.init (Array.length a - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+(* Drop output [i] (never the last one). *)
+let drop_output (spec : spec) i =
+  if Array.length spec.outputs <= 1 then None
+  else Some { spec with outputs = remove_idx spec.outputs i }
+
+(* Delete node [i]; references to it are rewired to its first fanin
+   (or primary input 0 — specs always have one), and every later
+   signal id shifts down. *)
+let drop_node (spec : spec) i =
+  let sid = spec.n_pi + i in
+  let repl =
+    if Array.length spec.nodes.(i).fanins > 0 then spec.nodes.(i).fanins.(0) else 0
+  in
+  let remap s = if s = sid then repl else if s > sid then s - 1 else s in
+  let nodes =
+    Array.init
+      (Array.length spec.nodes - 1)
+      (fun j ->
+        let src = if j < i then spec.nodes.(j) else spec.nodes.(j + 1) in
+        { src with fanins = Array.map remap src.fanins })
+  in
+  Some { spec with nodes; outputs = Array.map remap spec.outputs }
+
+(* Drop cube [j] of node [i]'s cover (covers may become constant 0). *)
+let drop_cube (spec : spec) i j =
+  let n = spec.nodes.(i) in
+  let cubes = Logic2.Cover.cubes n.func in
+  if List.length cubes <= j then None
+  else begin
+    let remaining = List.filteri (fun t _ -> t <> j) cubes in
+    let func = Logic2.Cover.of_cubes (Logic2.Cover.num_vars n.func) remaining in
+    let nodes = Array.copy spec.nodes in
+    nodes.(i) <- { n with func };
+    Some { spec with nodes }
+  end
+
+(* Remove fanin pin [j] of node [i] (arity must stay >= 1): the cover
+   loses variable [j], widening every cube that constrained it. *)
+let drop_fanin (spec : spec) i j =
+  let n = spec.nodes.(i) in
+  let k = Array.length n.fanins in
+  if k <= 1 then None
+  else begin
+    let fanins = remove_idx n.fanins j in
+    let cubes =
+      List.map
+        (fun c ->
+          let lits =
+            List.filter_map
+              (fun (v, b) -> if v = j then None else Some ((if v > j then v - 1 else v), b))
+              (Logic2.Cube.literals c)
+          in
+          Logic2.Cube.make (k - 1) lits)
+        (Logic2.Cover.cubes n.func)
+    in
+    let func = Logic2.Cover.of_cubes (k - 1) cubes in
+    let nodes = Array.copy spec.nodes in
+    nodes.(i) <- { fanins; func };
+    Some { spec with nodes }
+  end
+
+(* Garbage-collect primary input [p] if nothing references it. *)
+let drop_pi (spec : spec) p =
+  if spec.n_pi <= 1 then None
+  else begin
+    let used =
+      Array.exists (fun n -> Array.exists (fun f -> f = p) n.fanins) spec.nodes
+      || Array.exists (fun o -> o = p) spec.outputs
+    in
+    if used then None
+    else begin
+      let remap s = if s > p then s - 1 else s in
+      Some
+        {
+          n_pi = spec.n_pi - 1;
+          nodes =
+            Array.map (fun n -> { n with fanins = Array.map remap n.fanins }) spec.nodes;
+          outputs = Array.map remap spec.outputs;
+        }
+    end
+  end
+
+(* All single-step reductions of a spec, cheapest-to-check first: the
+   order matters only for speed (outputs and whole gates first shed
+   the most logic per accepted step). *)
+let candidates (spec : spec) =
+  let n_nodes = Array.length spec.nodes in
+  let outs = List.init (Array.length spec.outputs) (fun i () -> drop_output spec i) in
+  let nodes = List.init n_nodes (fun i () -> drop_node spec (n_nodes - 1 - i)) in
+  let fanins =
+    List.concat
+      (List.init n_nodes (fun i ->
+           List.init
+             (Array.length spec.nodes.(i).fanins)
+             (fun j () -> drop_fanin spec i j)))
+  in
+  let cubes =
+    List.concat
+      (List.init n_nodes (fun i ->
+           List.init
+             (Logic2.Cover.num_cubes spec.nodes.(i).func)
+             (fun j () -> drop_cube spec i j)))
+  in
+  let pis = List.init spec.n_pi (fun p () -> drop_pi spec p) in
+  outs @ nodes @ fanins @ cubes @ pis
+
+let shrink ?(max_evals = 2000) ~fails spec =
+  let evals = ref 0 in
+  let keeps c =
+    if !evals >= max_evals then false
+    else begin
+      incr evals;
+      fails c
+    end
+  in
+  let cur = ref spec in
+  let progress = ref true in
+  while !progress && !evals < max_evals do
+    progress := false;
+    let rec scan = function
+      | [] -> ()
+      | mk :: rest -> (
+        match mk () with
+        | Some c when keeps c ->
+          cur := c;
+          progress := true
+        | _ -> scan rest)
+    in
+    scan (candidates !cur)
+  done;
+  (!cur, !evals)

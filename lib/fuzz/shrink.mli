@@ -1,0 +1,16 @@
+(** Greedy automatic shrinking of failing specimens.
+
+    Given a predicate [fails] (does this specimen still trip the
+    oracle?), the shrinker repeatedly tries structural reductions —
+    dropping outputs, deleting gates (fanout rewired to the deleted
+    gate's first fanin), removing cover rows, removing fanin pins
+    (widening the cover), and garbage-collecting unused primary
+    inputs — keeping each reduction that preserves the failure, until
+    no single reduction does. The result is a locally minimal
+    reproducing netlist, typically a handful of gates. *)
+
+val shrink : ?max_evals:int -> fails:(Gen.spec -> bool) -> Gen.spec -> Gen.spec * int
+(** [(minimal, evals)]: the shrunken spec and the number of predicate
+    evaluations spent. [fails spec] must already hold for the input
+    (the shrinker never returns a passing spec). [max_evals] caps the
+    total predicate budget (default 2000). *)

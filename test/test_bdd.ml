@@ -262,7 +262,11 @@ let test_satcount_wide () =
   check "wide satcount" true
     (Extfloat.equal count (Extfloat.mul_pow2 (Extfloat.of_float 3.) 698))
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+(* Deterministic QCheck seeding (no wall-clock self-init): the state
+   comes from Fuzz.Rng.qcheck_state, overridable via QCHECK_SEED. *)
+let qsuite name tests =
+  let rand = Fuzz.Rng.qcheck_state () in
+  (name, List.map (QCheck_alcotest.to_alcotest ~rand) tests)
 
 let () =
   Alcotest.run "bdd"

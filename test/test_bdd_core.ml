@@ -213,7 +213,11 @@ let test_clear_caches_identity () =
   done;
   check "same handle after 10k clears" true (Bdd.ite man f g (Bdd.bnot man g) = r1)
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+(* Deterministic QCheck seeding (no wall-clock self-init): the state
+   comes from Fuzz.Rng.qcheck_state, overridable via QCHECK_SEED. *)
+let qsuite name tests =
+  let rand = Fuzz.Rng.qcheck_state () in
+  (name, List.map (QCheck_alcotest.to_alcotest ~rand) tests)
 
 let () =
   Alcotest.run "bdd-core"

@@ -250,7 +250,11 @@ let test_blif_rows () =
     (Cube.equal c (Cube.make 4 [ (0, false); (1, true); (3, true) ]));
   check "row encode" true (Sop.blif_row_of_cube c = "01-1")
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+(* Deterministic QCheck seeding (no wall-clock self-init): the state
+   comes from Fuzz.Rng.qcheck_state, overridable via QCHECK_SEED. *)
+let qsuite name tests =
+  let rand = Fuzz.Rng.qcheck_state () in
+  (name, List.map (QCheck_alcotest.to_alcotest ~rand) tests)
 
 let () =
   Alcotest.run "logic2"

@@ -144,7 +144,11 @@ let test_obs_forces_sequential () =
   Obs.set_enabled false;
   same_result (c1, r1) (c4, r4)
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+(* Deterministic QCheck seeding (no wall-clock self-init): the state
+   comes from Fuzz.Rng.qcheck_state, overridable via QCHECK_SEED. *)
+let qsuite name tests =
+  let rand = Fuzz.Rng.qcheck_state () in
+  (name, List.map (QCheck_alcotest.to_alcotest ~rand) tests)
 
 let () =
   Alcotest.run "spcf-parallel"
