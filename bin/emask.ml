@@ -20,6 +20,22 @@
 
 open Cmdliner
 
+(* The CLI exception boundary: bad input must produce a one-line
+   diagnostic and exit 2 — the lint preflight policy — never a raw
+   OCaml backtrace. Every subcommand body runs inside [guarded]. *)
+let cli_error code msg =
+  Printf.eprintf "emask: error %s: %s\n%!" code msg;
+  exit 2
+
+let guarded f =
+  try f () with
+  | Blif.Parse_error msg -> cli_error "BLIF001" msg
+  | Sys_error msg -> cli_error "IO001" msg
+  | Failure msg -> cli_error "CLI001" msg
+  | Invalid_argument msg -> cli_error "CLI002" msg
+  | Budget.Budget_exceeded r ->
+    cli_error "BUDGET001" ("resource budget exhausted: " ^ Budget.reason_to_string r)
+
 (* Every entry point pre-flights its input with the cheap error-only
    lint subset and exits 2 with a one-line summary instead of failing
    deep inside BDD construction. *)
@@ -49,14 +65,93 @@ let algorithm_arg =
   let algo_conv = Arg.enum [ ("short", `Short); ("path", `Path); ("node", `Node) ] in
   Arg.(value & opt algo_conv `Short & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
 
+(* A strictly positive integer argument: 0 or a negative value is an
+   argument error, not a silent fallback to some other mode. *)
+let pos_int_conv what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None ->
+      Error (`Msg (Printf.sprintf "%s must be a positive integer, got %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let pos_float_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v > 0. && v < infinity -> Ok v
+    | Some _ | None ->
+      Error (`Msg (Printf.sprintf "%s must be a positive number, got %S" what s))
+  in
+  Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
+
 let jobs_arg =
   let doc =
     "Worker domains for the per-output SPCF fan-out (default: \\$(b,EMASK_JOBS), \
      else 1 = sequential). Results are identical for every N; only runtime changes."
   in
-  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  Arg.(
+    value
+    & opt (some (pos_int_conv "--jobs")) None
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
-let resolve_jobs n = if n >= 1 then n else Spcf.Parallel.default_jobs ()
+let resolve_jobs = function Some n -> n | None -> Spcf.Parallel.default_jobs ()
+
+(* --- resource budgets --------------------------------------------------- *)
+
+let timeout_arg =
+  let doc =
+    "Wall-clock budget in seconds (also \\$(b,EMASK_BUDGET_TIMEOUT)). On exhaustion \
+     the computation degrades tier by tier (exact SPCF, node-based SPCF, always-on \
+     masking) instead of running away; degradation is reported, never silent."
+  in
+  Arg.(
+    value
+    & opt (some (pos_float_conv "--timeout")) None
+    & info [ "timeout" ] ~docv:"SEC" ~doc)
+
+let max_nodes_arg =
+  let doc =
+    "BDD node quota per manager (also \\$(b,EMASK_BUDGET_MAX_NODES)). Same \
+     degradation ladder as $(b,--timeout)."
+  in
+  Arg.(
+    value
+    & opt (some (pos_int_conv "--max-nodes")) None
+    & info [ "max-nodes" ] ~docv:"N" ~doc)
+
+let budget_term = Term.(const (fun t n -> (t, n)) $ timeout_arg $ max_nodes_arg)
+
+(* Flags take precedence; EMASK_BUDGET_* fills the gaps. *)
+let resolve_budget (timeout, max_nodes) =
+  Budget.merge { Budget.timeout; max_nodes; max_ops = None } (Budget.of_env ())
+
+let pp_reasons attempts =
+  String.concat ", "
+    (List.map
+       (fun (tier, reason) ->
+         Printf.sprintf "%s: %s"
+           (Spcf.Governed.tier_to_string tier)
+           (Budget.reason_to_string reason))
+       attempts)
+
+let report_spcf_degradation (o : Spcf.Governed.outcome) =
+  if o.Spcf.Governed.tier <> Spcf.Governed.Exact then
+    Printf.printf "budget: degraded to %s SPCF (%s); degraded outputs: %s\n"
+      (Spcf.Governed.tier_to_string o.Spcf.Governed.tier)
+      (pp_reasons o.Spcf.Governed.attempts)
+      (String.concat ", "
+         (List.map (fun (n, _, _) -> n) o.Spcf.Governed.result.Spcf.Ctx.outputs))
+
+let report_synthesis_degradation (m : Masking.Synthesis.t) =
+  if m.Masking.Synthesis.tier <> Spcf.Governed.Exact then
+    Printf.printf "budget: degraded to %s (%s); degraded outputs: %s\n"
+      (Spcf.Governed.tier_to_string m.Masking.Synthesis.tier)
+      (pp_reasons m.Masking.Synthesis.attempts)
+      (String.concat ", "
+         (List.map
+            (fun p -> p.Masking.Synthesis.name)
+            m.Masking.Synthesis.per_output))
 
 (* --- instrumentation plumbing ------------------------------------------ *)
 
@@ -127,6 +222,7 @@ let contract_arg =
    realization. Suite circuits skip the source stage. *)
 let lint_run obs spec fail_on json contract theta jobs =
   let code =
+    guarded @@ fun () ->
     with_obs obs "lint" @@ fun () ->
     let source_diags, net =
       if Sys.file_exists spec then begin
@@ -187,22 +283,24 @@ let lint_cmd =
       const lint_run $ obs_term $ circuit_arg $ fail_on_arg $ json_arg $ contract_arg
       $ theta_arg $ jobs_arg)
 
-let spcf_run obs spec theta algo jobs =
+let spcf_run obs spec theta algo jobs bflags =
+  guarded @@ fun () ->
   with_obs obs "spcf" @@ fun () ->
   let jobs = resolve_jobs jobs in
+  let bspec = resolve_budget bflags in
   let net = load_circuit spec in
   let mc = Obs.with_span "map" (fun () -> Mapper.map net) in
-  let ctx = Spcf.Ctx.create mc in
-  let target = Spcf.Ctx.target_of_theta ctx theta in
-  let r =
+  let algorithm =
     match algo with
-    | `Short -> Spcf.Parallel.short_path ~jobs ctx ~target
-    | `Path -> Spcf.Parallel.path_based ~jobs ctx ~target
-    | `Node -> Spcf.Node_based.compute ctx ~target
+    | `Short -> Spcf.Governed.Short_path
+    | `Path -> Spcf.Governed.Path_based
+    | `Node -> Spcf.Governed.Node_based
   in
+  let o = Spcf.Governed.compute ~jobs ~spec:bspec ~algorithm ~theta mc in
+  let ctx = o.Spcf.Governed.ctx and r = o.Spcf.Governed.result in
   Printf.printf "circuit: %s\n" spec;
   Printf.printf "gates: %d  area: %.1f  delta: %.3f  target: %.3f\n"
-    (Mapped.gate_count mc) (Mapped.area mc) (Spcf.Ctx.delta ctx) target;
+    (Mapped.gate_count mc) (Mapped.area mc) (Spcf.Ctx.delta ctx) r.Spcf.Ctx.target;
   Printf.printf "algorithm: %s  runtime: %.3fs\n" r.Spcf.Ctx.algorithm
     r.Spcf.Ctx.runtime;
   Printf.printf "critical outputs: %d\n" (Spcf.Ctx.num_critical_outputs r);
@@ -212,24 +310,33 @@ let spcf_run obs spec theta algo jobs =
         (Extfloat.to_string (Bdd.satcount ctx.Spcf.Ctx.man sigma)))
     r.Spcf.Ctx.outputs;
   Printf.printf "total critical minterms: %s\n"
-    (Extfloat.to_string (Spcf.Ctx.count ctx r))
+    (Extfloat.to_string (Spcf.Ctx.count ctx r));
+  report_spcf_degradation o
 
 let spcf_cmd =
   Cmd.v
     (Cmd.info "spcf" ~doc:"Compute the speed-path characteristic function")
     Term.(
-      const spcf_run $ obs_term $ circuit_arg $ theta_arg $ algorithm_arg $ jobs_arg)
+      const spcf_run $ obs_term $ circuit_arg $ theta_arg $ algorithm_arg $ jobs_arg
+      $ budget_term)
 
-let protect_run obs spec theta jobs out =
+let protect_run obs spec theta jobs out bflags =
+  guarded @@ fun () ->
   with_obs obs "protect" @@ fun () ->
   let net = load_circuit spec in
   let options =
-    { Masking.Synthesis.default_options with theta; jobs = resolve_jobs jobs }
+    {
+      Masking.Synthesis.default_options with
+      theta;
+      jobs = resolve_jobs jobs;
+      budget = resolve_budget bflags;
+    }
   in
   let m = Masking.Synthesis.synthesize ~options net in
   let r = Masking.Verify.check m in
   Format.printf "circuit: %s@." spec;
   Format.printf "%a@." Masking.Verify.pp r;
+  report_synthesis_degradation m;
   (match out with
   | Some path ->
     Blif.write_file ~model:(Filename.basename path) path
@@ -245,12 +352,18 @@ let protect_cmd =
   Cmd.v
     (Cmd.info "protect" ~doc:"Synthesize and verify an error-masking circuit")
     Term.(
-      const protect_run $ obs_term $ circuit_arg $ theta_arg $ jobs_arg $ out_arg)
+      const protect_run $ obs_term $ circuit_arg $ theta_arg $ jobs_arg $ out_arg
+      $ budget_term)
 
-let wearout_run obs spec trials =
+let wearout_run obs spec trials bflags =
+  guarded @@ fun () ->
   with_obs obs "wearout" @@ fun () ->
   let net = load_circuit spec in
-  let m = Masking.Synthesis.synthesize net in
+  let options =
+    { Masking.Synthesis.default_options with budget = resolve_budget bflags }
+  in
+  let m = Masking.Synthesis.synthesize ~options net in
+  report_synthesis_degradation m;
   let samples =
     Obs.with_span "aging-sweep" (fun () -> Masking.Monitor.aging_sweep ~trials m)
   in
@@ -263,9 +376,10 @@ let trials_arg =
 let wearout_cmd =
   Cmd.v
     (Cmd.info "wearout" ~doc:"Aging sweep: raw vs masked vs logged error rates")
-    Term.(const wearout_run $ obs_term $ circuit_arg $ trials_arg)
+    Term.(const wearout_run $ obs_term $ circuit_arg $ trials_arg $ budget_term)
 
 let trace_run obs spec buffer cycles =
+  guarded @@ fun () ->
   with_obs obs "trace" @@ fun () ->
   let net = load_circuit spec in
   let m = Masking.Synthesis.synthesize net in
@@ -300,8 +414,11 @@ let count_arg =
   Arg.(value & opt int 100 & info [ "count"; "n" ] ~docv:"N" ~doc)
 
 let time_budget_arg =
-  let doc = "Stop after $(docv) seconds of wall clock, even mid-corpus." in
-  Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"S" ~doc)
+  let doc = "Deprecated alias for $(b,--timeout)." in
+  Arg.(
+    value
+    & opt (some (pos_float_conv "--time-budget")) None
+    & info [ "time-budget" ] ~docv:"S" ~doc)
 
 let oracle_arg =
   let doc =
@@ -321,8 +438,9 @@ let fuzz_out_arg =
   let doc = "Directory for shrunken repro .blif files (created if missing)." in
   Arg.(value & opt string "." & info [ "out" ] ~docv:"DIR" ~doc)
 
-let fuzz_run obs seed count time_budget oracle shrink out =
+let fuzz_run obs seed count time_budget oracle shrink out bflags =
   let code =
+    guarded @@ fun () ->
     with_obs obs "fuzz" @@ fun () ->
     let oracles =
       match oracle with
@@ -336,12 +454,17 @@ let fuzz_run obs seed count time_budget oracle shrink out =
           exit 2)
     in
     if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    let budget =
+      let timeout, max_nodes = bflags in
+      let timeout = match timeout with Some _ -> timeout | None -> time_budget in
+      resolve_budget (timeout, max_nodes)
+    in
     let config =
       {
         Fuzz.Driver.default_config with
         seed;
         count;
-        time_budget;
+        budget;
         oracles;
         shrink;
         out_dir = Some out;
@@ -366,7 +489,7 @@ let fuzz_cmd =
           failures are shrunk to minimal repro netlists")
     Term.(
       const fuzz_run $ obs_term $ seed_arg $ count_arg $ time_budget_arg $ oracle_arg
-      $ shrink_arg $ fuzz_out_arg)
+      $ shrink_arg $ fuzz_out_arg $ budget_term)
 
 let () =
   let info =

@@ -4,6 +4,21 @@
 
 let line = String.make 112 '-'
 
+(* The CLI exception boundary (shared policy with emask): bad input
+   produces a one-line diagnostic and exit 2, never a raw backtrace. *)
+let cli_error code msg =
+  Printf.eprintf "table2: error %s: %s\n%!" code msg;
+  exit 2
+
+let guarded f =
+  try f () with
+  | Blif.Parse_error msg -> cli_error "BLIF001" msg
+  | Sys_error msg -> cli_error "IO001" msg
+  | Failure msg -> cli_error "CLI001" msg
+  | Invalid_argument msg -> cli_error "CLI002" msg
+  | Budget.Budget_exceeded r ->
+    cli_error "BUDGET001" ("resource budget exhausted: " ^ Budget.reason_to_string r)
+
 (* `--stats-json FILE` writes a per-circuit JSON sidecar of the
    synthesis/verification internals (spans, counters, histograms). *)
 let stats_json_path () =
@@ -25,14 +40,49 @@ let jobs_arg () =
     else if Sys.argv.(i) = "--jobs" && i + 1 < Array.length Sys.argv then
       match int_of_string_opt Sys.argv.(i + 1) with
       | Some n when n >= 1 -> n
-      | _ -> Spcf.Parallel.default_jobs ()
+      | _ ->
+        cli_error "CLI002"
+          (Printf.sprintf "--jobs must be a positive integer, got %S" Sys.argv.(i + 1))
     else scan (i + 1)
   in
   scan 1
 
+(* `--timeout SEC` / `--max-nodes N` (flags win over the EMASK_BUDGET
+   environment variables): each synthesis degrades down the governed
+   ladder (exact, node-based, always-on) instead of running away;
+   degraded circuits are named in a note after the table. Without budget
+   flags the table is byte-identical to the ungoverned run. *)
+let budget_spec () =
+  let scan_opt flag parse what =
+    let rec scan i =
+      if i >= Array.length Sys.argv then None
+      else if Sys.argv.(i) = flag && i + 1 < Array.length Sys.argv then
+        match parse Sys.argv.(i + 1) with
+        | Some _ as v -> v
+        | None ->
+          cli_error "CLI002"
+            (Printf.sprintf "%s must be %s, got %S" flag what Sys.argv.(i + 1))
+      else scan (i + 1)
+    in
+    scan 1
+  in
+  let pos_float s =
+    match float_of_string_opt s with
+    | Some v when v > 0. && v < infinity -> Some v
+    | _ -> None
+  in
+  let pos_int s =
+    match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None
+  in
+  let timeout = scan_opt "--timeout" pos_float "a positive number" in
+  let max_nodes = scan_opt "--max-nodes" pos_int "a positive integer" in
+  Budget.merge { Budget.timeout; max_nodes; max_ops = None } (Budget.of_env ())
+
 let () =
+  guarded @@ fun () ->
   let sidecar = stats_json_path () in
   let jobs = jobs_arg () in
+  let budget = budget_spec () in
   if sidecar <> None then Obs.set_enabled true;
   let collect = Obs.on () in
   let all_stats = ref [] in
@@ -45,6 +95,7 @@ let () =
     "POs" "minterms" "(%)" "(%)" "(%)" "(%)" "";
   Printf.printf "%s\n" line;
   let slacks = ref [] and areas = ref [] and powers = ref [] in
+  let degraded = ref [] in
   List.iter
     (fun entry ->
       let net = Suite.network entry in
@@ -52,8 +103,12 @@ let () =
          instead of failing deep inside synthesis. *)
       Analysis.Lint.gate ~what:entry.Suite.ename (Analysis.Lint.preflight net);
       if collect then Obs.reset ();
-      let options = { Masking.Synthesis.default_options with jobs } in
+      let options = { Masking.Synthesis.default_options with jobs; budget } in
       let m = Masking.Synthesis.synthesize ~options net in
+      if m.Masking.Synthesis.tier <> Spcf.Governed.Exact then
+        degraded :=
+          (entry.Suite.ename, Spcf.Governed.tier_to_string m.Masking.Synthesis.tier)
+          :: !degraded;
       let r = Masking.Verify.check m in
       if collect then
         all_stats := (entry.Suite.ename, Obs_json.snapshot ()) :: !all_stats;
@@ -82,6 +137,10 @@ let () =
   Printf.printf
     "\nShape targets (paper): 100%% coverage on every circuit; average slack 57%%;\n\
      average area (power) overhead 18%% (16%%); ~20%% of outputs critical.\n";
+  if !degraded <> [] then
+    Printf.printf "budget: degraded circuits: %s\n"
+      (String.concat ", "
+         (List.rev_map (fun (n, t) -> Printf.sprintf "%s (%s)" n t) !degraded));
   match sidecar with
   | None -> ()
   | Some path ->

@@ -38,6 +38,9 @@ type man = {
   mutable cmask : int;
   mutable cgen : int; (* generation tag, < 2^30 *)
   cache_fixed : bool; (* explicit ~cache_bits: never resize (tests) *)
+  mutable budget : Budget.t;
+      (* resource governance; Budget.unlimited (the default) keeps the
+         hot paths to a single physical-equality test *)
 }
 
 let bfalse : t = 0
@@ -101,7 +104,11 @@ let create ?cache_bits ~nvars () =
     cmask;
     cgen = 0;
     cache_fixed;
+    budget = Budget.unlimited;
   }
+
+let set_budget man b = man.budget <- b
+let budget man = man.budget
 
 let nvars man = man.nvars
 let num_nodes man = man.n_nodes
@@ -203,6 +210,7 @@ let mk man v lo hi =
       man.low.(n) <- lo;
       man.high.(n) <- hi;
       man.n_nodes <- n + 1;
+      if man.budget != Budget.unlimited then Budget.check_nodes man.budget (n + 1);
       Obs.record_max c_nodes_max (n + 1);
       Array.unsafe_set table !i n;
       if (man.n_nodes - 2) * 4 > (mask + 1) * 3 then unique_rehash man;
@@ -229,6 +237,7 @@ let rec ite man f g h =
   else if g = btrue && h = bfalse then f
   else begin
     Obs.incr c_ite_calls;
+    if man.budget != Budget.unlimited then Budget.tick man.budget;
     let k1 = (f lsl 31) lor g and k2 = (man.cgen lsl 31) lor h in
     let slot = mix3 f g h land man.cmask in
     if Array.unsafe_get man.ck1 slot = k1 && Array.unsafe_get man.ck2 slot = k2 then begin

@@ -22,6 +22,15 @@ val unique_capacity : man -> int
 val cache_capacity : man -> int
 (** Entries in the direct-mapped ite computed-table (a power of two). *)
 
+val set_budget : man -> Budget.t -> unit
+(** Govern this manager: node allocation checks the node quota and each
+    [ite] call ticks the operation/deadline/cancellation budget, raising
+    [Budget.Budget_exceeded] on exhaustion. The default is
+    [Budget.unlimited], under which every check is a single
+    physical-equality test. *)
+
+val budget : man -> Budget.t
+
 val clear_caches : man -> unit
 (** Drop every ite computed-table entry in O(1) (generation bump). The
     node store and unique table are untouched; results of subsequent

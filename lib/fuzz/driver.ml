@@ -7,7 +7,7 @@
 type config = {
   seed : int;
   count : int;
-  time_budget : float option;
+  budget : Budget.spec;
   oracles : Oracle.t list;
   shrink : bool;
   out_dir : string option;
@@ -18,7 +18,7 @@ let default_config =
   {
     seed = 0;
     count = 100;
-    time_budget = None;
+    budget = Budget.no_limits;
     oracles = Oracle.all;
     shrink = true;
     out_dir = None;
@@ -60,10 +60,14 @@ let write_repro ~dir ~oracle ~seed ~index ~message spec =
   path
 
 (* Re-running an oracle during shrinking needs fresh-but-deterministic
-   pattern randomness: the stream is a fixed child of the sample's. *)
-let still_fails oracle ~sample_rng spec =
+   pattern randomness: the stream is a fixed child of the sample's. A
+   Skip (including budget exhaustion) counts as "does not fail", so
+   shrinking under pressure stays sound — it just stops early. *)
+let still_fails oracle ~sample_rng ~budget spec =
   let rng = Rng.base (Rng.child sample_rng 0x51412) in
-  match Oracle.run oracle ~rng (Gen.network spec) with Oracle.Fail _ -> true | _ -> false
+  match Oracle.run oracle ~rng ~budget:(Budget.for_worker budget) (Gen.network spec) with
+  | Oracle.Fail _ -> true
+  | _ -> false
 
 let run ?(log = print_endline) config =
   let t0 = Obs.now () in
@@ -71,11 +75,11 @@ let run ?(log = print_endline) config =
   let checks = ref 0 and skips = ref 0 and samples = ref 0 in
   let failures = ref [] in
   let prev = ref None in
-  let budget_left () =
-    match config.time_budget with
-    | None -> true
-    | Some s -> Obs.now () -. t0 < s
-  in
+  (* One budget instance governs the whole campaign: the loop polls it
+     between work items, and each oracle execution runs under a worker
+     view (shared deadline and quotas, fresh operation count). *)
+  let budget = Budget.instantiate config.budget in
+  let budget_left () = Budget.exhausted budget = None in
   let i = ref 0 in
   while !i < config.count && budget_left () do
     let index = !i in
@@ -97,7 +101,7 @@ let run ?(log = print_endline) config =
           let rng = Rng.base (Rng.child sample_rng 0x51412) in
           match
             Obs.with_span ("fuzz.oracle." ^ oracle.Oracle.name) (fun () ->
-                Oracle.run oracle ~rng net)
+                Oracle.run oracle ~rng ~budget:(Budget.for_worker budget) net)
           with
           | Oracle.Pass -> ()
           | Oracle.Skip _ -> incr skips
@@ -109,7 +113,7 @@ let run ?(log = print_endline) config =
             let spec, evals =
               if config.shrink then
                 Obs.with_span "fuzz.shrink" (fun () ->
-                    Shrink.shrink ~fails:(still_fails oracle ~sample_rng) spec)
+                    Shrink.shrink ~fails:(still_fails oracle ~sample_rng ~budget) spec)
               else (spec, 0)
             in
             if config.shrink then

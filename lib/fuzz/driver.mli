@@ -8,7 +8,11 @@
 type config = {
   seed : int;  (** root seed; every report names it *)
   count : int;  (** samples to run (ignored when the budget ends first) *)
-  time_budget : float option;  (** wall-clock budget in seconds *)
+  budget : Budget.spec;
+      (** campaign budget: the loop stops when the deadline passes, and
+          each oracle execution runs under a worker view of the same
+          instance (shared deadline, per-oracle node/op quotas); an
+          oracle that exhausts it is a [Skip], not a failure *)
   oracles : Oracle.t list;  (** the checks to run on every sample *)
   shrink : bool;  (** minimize failing specimens before reporting *)
   out_dir : string option;  (** where repro [.blif] files go; [None] = no files *)

@@ -8,7 +8,7 @@ type outcome = Pass | Fail of string | Skip of string
 type t = {
   name : string;
   describe : string;
-  check : rng:Util.Rng.t -> Network.t -> outcome;
+  check : rng:Util.Rng.t -> budget:Budget.t -> Network.t -> outcome;
 }
 
 let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
@@ -24,11 +24,11 @@ let too_large net = Network.num_nodes net > 80 || Array.length (Network.inputs n
    node-based ⊇ exact, at a routine and a near-zero-slack target. All
    four results live in the same BDD manager, so "identical function"
    is handle equality and containment is one band/bnot. *)
-let spcf_equal ~rng:_ net =
+let spcf_equal ~rng:_ ~budget net =
   if too_large net then Skip "too large for SPCF cross-check"
   else begin
     let mc = Mapper.map net in
-    let ctx = Spcf.Ctx.create mc in
+    let ctx = Spcf.Ctx.create ~budget mc in
     let man = ctx.Spcf.Ctx.man in
     let check_theta theta =
       let target = Spcf.Ctx.target_of_theta ctx theta in
@@ -92,11 +92,11 @@ let spcf_equal ~rng:_ net =
 (* Global BDDs vs bit-parallel simulation vs scalar evaluation,
    exhaustive over the input space (specimens have at most 8 inputs;
    12 is the hard cap). *)
-let bdd_vs_sim ~rng:_ net =
+let bdd_vs_sim ~rng:_ ~budget net =
   let n = Array.length (Network.inputs net) in
   if n > 12 then Skip "too many inputs for exhaustive comparison"
   else begin
-    let man, funcs = Network.to_bdds net in
+    let man, funcs = Network.to_bdds ~budget net in
     let sim = Bitsim.prepare net in
     let nsig = Network.num_signals net in
     let npat = 1 lsl n in
@@ -143,7 +143,7 @@ let bdd_vs_sim ~rng:_ net =
    the settled (zero-delay) values, and nothing settles after the
    latest arrival anywhere. (Δ itself only bounds the *outputs* —
    logic outside every output cone may legitimately settle later.) *)
-let tsim_vs_sta ~rng net =
+let tsim_vs_sta ~rng ~budget:_ net =
   let mc = Mapper.map net in
   let sta = Sta.analyze ~model:Sta.Library mc in
   let delays = Sta.gate_delays Sta.Library mc in
@@ -191,11 +191,11 @@ let tsim_vs_sta ~rng net =
 (* The exact floating-mode reference semantics per pattern, and (when
    the input space is small) the floating delay as the max per-pattern
    arrival. *)
-let pattern_arrival ~rng net =
+let pattern_arrival ~rng ~budget net =
   if too_large net then Skip "too large for pattern-arrival cross-check"
   else begin
     let mc = Mapper.map net in
-    let ctx = Spcf.Ctx.create mc in
+    let ctx = Spcf.Ctx.create ~budget mc in
     let mnet = Mapped.network mc in
     let n = Array.length (Network.inputs mnet) in
     let nsig = Network.num_signals mnet in
@@ -247,10 +247,16 @@ let pattern_arrival ~rng net =
    Σ ⊆ e ⊆ (ỹ = y) interval, and the masking-contract lints (minus the
    slack margin, which is a quality target rather than an invariant on
    adversarial specimens). *)
-let masking ~rng:_ net =
+let masking ~rng:_ ~budget net =
   if too_large net then Skip "too large for synthesis cross-check"
   else begin
-    let m = Masking.Synthesis.synthesize net in
+    (* The remaining budget is handed to the synthesis ladder as a spec:
+       under pressure the oracle exercises (and still verifies) the
+       degraded tiers — they must be sound too. *)
+    let options =
+      { Masking.Synthesis.default_options with budget = Budget.spec_of budget }
+    in
+    let m = Masking.Synthesis.synthesize ~options net in
     let r = Masking.Verify.check ~power_rounds:8 m in
     if not r.Masking.Verify.equivalent then
       Fail "masked circuit is not equivalent to the original"
@@ -275,7 +281,7 @@ let masking ~rng:_ net =
 (* parse ∘ print preserves the function, and printing reaches a
    fixpoint after one round (the first print may introduce pass-through
    nodes for renamed outputs and drop dead cones). *)
-let blif_roundtrip ~rng:_ net =
+let blif_roundtrip ~rng:_ ~budget:_ net =
   let s1 = Blif.to_string ~model:"fuzz" net in
   let n2 =
     try Blif.parse s1
@@ -334,7 +340,10 @@ let all =
 let names = List.map (fun o -> o.name) all
 let find name = List.find_opt (fun o -> o.name = name) all
 
-let run o ~rng net =
-  try o.check ~rng net with
-  | e ->
-    Fail (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))
+let run o ~rng ?(budget = Budget.unlimited) net =
+  try o.check ~rng ~budget net with
+  | Budget.Budget_exceeded r ->
+    (* Running out of budget on a specimen is not a finding: the check
+       simply did not complete. *)
+    Skip (Printf.sprintf "budget exhausted (%s)" (Budget.reason_to_string r))
+  | e -> Fail (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))

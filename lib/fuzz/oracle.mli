@@ -37,7 +37,7 @@ type outcome = Pass | Fail of string | Skip of string
 type t = {
   name : string;  (** stable CLI identifier *)
   describe : string;  (** one-line catalogue entry *)
-  check : rng:Util.Rng.t -> Network.t -> outcome;
+  check : rng:Util.Rng.t -> budget:Budget.t -> Network.t -> outcome;
       (** the raw body; prefer {!run}, which converts exceptions *)
 }
 
@@ -47,5 +47,8 @@ val names : string list
 val find : string -> t option
 (** Lookup by [name]. *)
 
-val run : t -> rng:Util.Rng.t -> Network.t -> outcome
-(** [check] with every escaping exception converted to [Fail]. *)
+val run : t -> rng:Util.Rng.t -> ?budget:Budget.t -> Network.t -> outcome
+(** [check] with every escaping exception converted to [Fail] — except
+    [Budget.Budget_exceeded], which becomes [Skip]: a check that ran
+    out of budget did not complete, which is not a finding. [budget]
+    defaults to [Budget.unlimited]. *)

@@ -33,6 +33,7 @@ type options = {
   log_errors : bool;
   delay_model : Sta.delay_model;
   jobs : int; (* SPCF worker domains; 0 = inherit EMASK_JOBS, 1 = sequential *)
+  budget : Budget.spec; (* resource governance; no_limits = ungoverned *)
 }
 
 let default_options =
@@ -48,10 +49,12 @@ let default_options =
     log_errors = false;
     delay_model = Sta.Library;
     jobs = 0;
+    budget = Budget.no_limits;
   }
 
 type per_output = {
   name : string;
+  tier : Spcf.Governed.tier; (* which ladder tier produced this output *)
   sigma : Bdd.t; (* over the SPCF context's manager *)
   y_combined : Network.signal;
   ytilde_combined : Network.signal;
@@ -72,16 +75,30 @@ type t = {
   options : options;
   target : float;
   delta : float;
+  tier : Spcf.Governed.tier; (* ladder tier the whole synthesis landed on *)
+  attempts : (Spcf.Governed.tier * Budget.reason) list;
+      (* budget walls hit by the tiers that did not complete *)
 }
 
-let run_algorithm options ctx ~target =
-  let jobs =
-    if options.jobs >= 1 then options.jobs else Spcf.Parallel.default_jobs ()
-  in
-  match options.algorithm with
-  | Short_path -> Spcf.Parallel.short_path ~jobs ctx ~target
-  | Path_based -> Spcf.Parallel.path_based ~jobs ctx ~target
-  | Node_based -> Spcf.Node_based.compute ctx ~target
+(* The SPCF engine for a ladder tier: the requested algorithm at tier 1,
+   node-based at tier 2, Σ := 1 at tier 3 ([options.algorithm] is kept
+   as requested in the result — the tier records what actually ran). *)
+let run_algorithm options ctx ~target ~tier =
+  match (tier : Spcf.Governed.tier) with
+  | Spcf.Governed.Always_on -> Spcf.Governed.always_on ctx ~target
+  | Spcf.Governed.Exact | Spcf.Governed.Node_fallback -> (
+    let algorithm =
+      match tier with
+      | Spcf.Governed.Node_fallback -> Node_based
+      | _ -> options.algorithm
+    in
+    let jobs =
+      if options.jobs >= 1 then options.jobs else Spcf.Parallel.default_jobs ()
+    in
+    match algorithm with
+    | Short_path -> Spcf.Parallel.short_path ~jobs ctx ~target
+    | Path_based -> Spcf.Parallel.path_based ~jobs ctx ~target
+    | Node_based -> Spcf.Node_based.compute ctx ~target)
 
 let c_cubes_kept = Obs.counter "synthesis.cubes.kept"
 let c_cubes_dropped = Obs.counter "synthesis.cubes.dropped"
@@ -134,15 +151,15 @@ let tautology_cover_1 =
   Logic2.Cover.of_cubes 1
     [ Logic2.Cube.make 1 [ (0, true) ]; Logic2.Cube.make 1 [ (0, false) ] ]
 
-let synthesize_body options net =
+let synthesize_body options ~budget ~tier ~attempts net =
   let original, smap =
     Obs.with_span "map" (fun () ->
         Mapper.map_with_signals ~style:options.map_style net)
   in
-  let ctx = Spcf.Ctx.create ~model:options.delay_model original in
+  let ctx = Spcf.Ctx.create ~model:options.delay_model ~budget original in
   let delta = Spcf.Ctx.delta ctx in
   let target = options.theta *. delta in
-  let spcf = run_algorithm options ctx ~target in
+  let spcf = run_algorithm options ctx ~target ~tier in
   let man = ctx.Spcf.Ctx.man in
   let funcs_net s = ctx.Spcf.Ctx.funcs.(smap.(s)) in
   (* Critical outputs in terms of the source network (matched by name). *)
@@ -422,6 +439,7 @@ let synthesize_body options net =
         per_output :=
           {
             name;
+            tier;
             sigma;
             y_combined = y_cmb;
             ytilde_combined = yt;
@@ -433,6 +451,10 @@ let synthesize_body options net =
       | None -> Mapped.mark_output combined ~name y_cmb)
     orig_outputs;
   Obs.leave ();
+  (* The whole construction survived its budget; lift it so downstream
+     consumers of the context (verification, satcounts) are not tripped
+     by a quota the result already fits inside. *)
+  Bdd.set_budget man Budget.unlimited;
   {
     source = net;
     original;
@@ -445,7 +467,45 @@ let synthesize_body options net =
     options;
     target;
     delta;
+    tier;
+    attempts;
   }
 
+(* The degradation ladder (DESIGN.md §11). Each tier reruns the whole
+   body in a fresh context: falling back inside the exhausted manager
+   would re-raise immediately, and the later synthesis stages (cube
+   selection, indicator ISOPs) must be governed too — SPCF is not the
+   only place a budget can run out. The tier-3 floor runs ungoverned:
+   with Σ = 1 cube selection preserves every node function exactly and
+   the indicator collapses to e ≡ 1, so the floor is cheap, always
+   sound, and always completes. *)
 let synthesize ?(options = default_options) net =
-  Obs.with_span "synthesis" (fun () -> synthesize_body options net)
+  Obs.with_span "synthesis" @@ fun () ->
+  if Budget.is_no_limits options.budget then
+    synthesize_body options ~budget:Budget.unlimited ~tier:Spcf.Governed.Exact
+      ~attempts:[] net
+  else begin
+    let budget = Budget.instantiate options.budget in
+    let floor attempts =
+      Spcf.Governed.record_fallback Spcf.Governed.Always_on;
+      synthesize_body options ~budget:Budget.unlimited ~tier:Spcf.Governed.Always_on
+        ~attempts net
+    in
+    match synthesize_body options ~budget ~tier:Spcf.Governed.Exact ~attempts:[] net with
+    | m -> m
+    | exception Budget.Budget_exceeded r1 ->
+      let attempts = [ (Spcf.Governed.Exact, r1) ] in
+      if options.algorithm = Node_based then
+        (* The request already was the tier-2 algorithm. *)
+        floor attempts
+      else begin
+        Spcf.Governed.record_fallback Spcf.Governed.Node_fallback;
+        match
+          synthesize_body options ~budget:(Budget.renew budget)
+            ~tier:Spcf.Governed.Node_fallback ~attempts net
+        with
+        | m -> m
+        | exception Budget.Budget_exceeded r2 ->
+          floor (attempts @ [ (Spcf.Governed.Node_fallback, r2) ])
+      end
+  end

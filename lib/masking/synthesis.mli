@@ -26,12 +26,21 @@ type options = {
   jobs : int;
       (** SPCF worker domains ([Spcf.Parallel]); 0 = inherit
           [EMASK_JOBS], 1 = sequential (default) *)
+  budget : Budget.spec;
+      (** resource governance. [Budget.no_limits] (the default) runs
+          the ungoverned path unchanged; otherwise [synthesize] walks
+          the degradation ladder exact → node-based → always-on
+          ([Spcf.Governed]), rerunning the whole construction in a
+          fresh governed context per tier, and records the landing
+          tier in the result — degradation is observable, never a
+          crash and never silent. *)
 }
 
 val default_options : options
 
 type per_output = {
   name : string;
+  tier : Spcf.Governed.tier;  (** ladder tier this output landed on *)
   sigma : Bdd.t;  (** the SPCF Σ_y, over the context's manager *)
   y_combined : Network.signal;  (** unprotected output inside [combined] *)
   ytilde_combined : Network.signal;
@@ -52,9 +61,17 @@ type t = {
   options : options;
   target : float;
   delta : float;
+  tier : Spcf.Governed.tier;
+      (** the ladder tier the synthesis landed on ([Exact] whenever
+          [options.budget = Budget.no_limits]) *)
+  attempts : (Spcf.Governed.tier * Budget.reason) list;
+      (** budget walls hit by the tiers that did {e not} complete *)
 }
 
 val synthesize : ?options:options -> Network.t -> t
+(** Never raises [Budget.Budget_exceeded]: the always-on floor tier
+    runs ungoverned and always completes, with Σ = 1 preserving every
+    node function exactly (so ỹ = y) and e ≡ 1. *)
 
 (**/**)
 

@@ -60,19 +60,24 @@ let rebuild w alias =
     match Hashtbl.find_opt const_cache value with
     | Some s -> s
     | None ->
-      let base =
+      let name = if value then "__const1" else "__const0" in
+      let s =
         match Network.inputs net with
-        | [||] -> failwith "Netopt: constant in a network without inputs"
-        | ins -> ins.(0)
-      in
-      let func =
-        if value then
-          Cover.of_cubes 1 [ Cube.make 1 [ (0, true) ] ]
-          |> fun on -> Cover.union on (Cover.of_cubes 1 [ Cube.make 1 [ (0, false) ] ])
-        else Cover.zero 1
-      in
-      let s = Network.add_node net (if value then "__const1" else "__const0")
-          ~fanins:[| base |] ~func
+        | [||] ->
+          (* Constant-only network (the fuzz generator emits these): a
+             0-ary cover carries the constant without borrowing an
+             input that does not exist. *)
+          let func = if value then Cover.one 0 else Cover.zero 0 in
+          Network.add_node net name ~fanins:[||] ~func
+        | ins ->
+          let func =
+            if value then
+              Cover.of_cubes 1 [ Cube.make 1 [ (0, true) ] ]
+              |> fun on ->
+              Cover.union on (Cover.of_cubes 1 [ Cube.make 1 [ (0, false) ] ])
+            else Cover.zero 1
+          in
+          Network.add_node net name ~fanins:[| ins.(0) |] ~func
       in
       Hashtbl.replace const_cache value s;
       s
@@ -546,20 +551,21 @@ let collapse_chains ?(min_len = 5) net =
       let result = bxor2 (band2 (Sig (realize x0)) a_tot) b_tot in
       (match result with
       | Sig r -> r
-      | Const v ->
-        (* Constant chain value: realize as a constant node. *)
-        let base =
-          match Network.inputs out with
-          | [||] -> failwith "Netopt.collapse_chains: constant without inputs"
-          | ins -> ins.(0)
-        in
-        let func =
-          if v then
-            Logic2.Cover.of_cubes 1
-              [ Logic2.Cube.make 1 [ (0, true) ]; Logic2.Cube.make 1 [ (0, false) ] ]
-          else Logic2.Cover.zero 1
-        in
-        Network.add_node out (fresh "cc") ~fanins:[| base |] ~func)
+      | Const v -> (
+        (* Constant chain value: realize as a constant node — 0-ary when
+           the network has no inputs to borrow. *)
+        match Network.inputs out with
+        | [||] ->
+          let func = if v then Logic2.Cover.one 0 else Logic2.Cover.zero 0 in
+          Network.add_node out (fresh "cc") ~fanins:[||] ~func
+        | ins ->
+          let func =
+            if v then
+              Logic2.Cover.of_cubes 1
+                [ Logic2.Cube.make 1 [ (0, true) ]; Logic2.Cube.make 1 [ (0, false) ] ]
+            else Logic2.Cover.zero 1
+          in
+          Network.add_node out (fresh "cc") ~fanins:[| ins.(0) |] ~func))
   in
   Array.iter
     (fun (name, s) -> Network.mark_output out ~name (realize s))

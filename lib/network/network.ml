@@ -150,9 +150,10 @@ let eval_outputs t pi_values =
   Array.map (fun (_, s) -> value.(s)) (outputs t)
 
 (* Global BDDs for every signal; BDD variable i is the i-th primary input. *)
-let to_bdds t =
+let to_bdds ?(budget = Budget.unlimited) t =
   let ins = inputs t in
   let man = Bdd.create ~nvars:(Array.length ins) () in
+  Bdd.set_budget man budget;
   let f = Array.make t.count Bdd.bfalse in
   Array.iteri (fun i s -> f.(s) <- Bdd.var man i) ins;
   for s = 0 to t.count - 1 do

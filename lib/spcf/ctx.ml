@@ -15,6 +15,7 @@ type t = {
   delay_units : int array; (* per signal: driving-gate delay, grid units *)
   arrival_units : int array;
   primes : (string, Logic2.Cover.t * Logic2.Cover.t) Hashtbl.t;
+  budget : Budget.t; (* governs the manager; Budget.unlimited by default *)
 }
 
 let grid = 0.01
@@ -29,12 +30,15 @@ let c_primes_hits = Obs.counter "spcf.primes.cache_hits"
 let c_primes_computed = Obs.counter "spcf.primes.computed"
 let h_primes_cubes = Obs.histogram "spcf.primes.cover_cubes"
 
-let create ?(model = Sta.Library) circuit =
+let create ?(model = Sta.Library) ?(budget = Budget.unlimited) circuit =
   Obs.enter "spcf.ctx.create";
+  (* Budget exhaustion can raise out of [to_bdds]; keep the span tree
+     balanced on that path. *)
+  Fun.protect ~finally:Obs.leave @@ fun () ->
   let sta = Obs.with_span "sta.analyze" (fun () -> Sta.analyze ~model circuit) in
   let man, funcs =
     Obs.with_span "network.to_bdds" (fun () ->
-        Network.to_bdds (Mapped.network circuit))
+        Network.to_bdds ~budget (Mapped.network circuit))
   in
   let delays = Sta.gate_delays model circuit in
   let delay_units = Array.map units_of_delay delays in
@@ -51,7 +55,6 @@ let create ?(model = Sta.Library) circuit =
         in
         arrival_units.(s) <- worst + delay_units.(s))
     (Network.topo_order net);
-  Obs.leave ();
   {
     circuit;
     model;
@@ -61,6 +64,7 @@ let create ?(model = Sta.Library) circuit =
     delay_units;
     arrival_units;
     primes = Hashtbl.create 32;
+    budget;
   }
 
 let network t = Mapped.network t.circuit

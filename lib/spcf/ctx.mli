@@ -9,6 +9,7 @@ type t = {
   delay_units : int array;
   arrival_units : int array;
   primes : (string, Logic2.Cover.t * Logic2.Cover.t) Hashtbl.t;
+  budget : Budget.t;  (** governs [man]; [Budget.unlimited] by default *)
 }
 
 val grid : float
@@ -16,7 +17,11 @@ val grid : float
 
 val units_of_delay : float -> int
 val units_of_target : float -> int
-val create : ?model:Sta.delay_model -> Mapped.t -> t
+val create : ?model:Sta.delay_model -> ?budget:Budget.t -> Mapped.t -> t
+(** [budget] governs the context's BDD manager from construction on:
+    both [to_bdds] and every subsequent SPCF computation can raise
+    [Budget.Budget_exceeded]. *)
+
 val network : t -> Network.t
 val primes_of : t -> Network.signal -> Logic2.Cover.t * Logic2.Cover.t
 val delta : t -> float

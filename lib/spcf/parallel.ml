@@ -23,14 +23,22 @@
 type algorithm = Short_path | Path_based
 
 (* The default job count: EMASK_JOBS, else 1 — parallelism is opt-in so
-   every seeded workflow stays on the sequential (identical) path. *)
+   every seeded workflow stays on the sequential (identical) path. A
+   malformed or non-positive value is a hard error: silently falling
+   back to sequential would change the execution mode behind the
+   user's back. *)
 let default_jobs () =
   match Sys.getenv_opt "EMASK_JOBS" with
   | None -> 1
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | _ -> 1)
+  | Some raw -> (
+    let s = String.trim raw in
+    if s = "" then 1
+    else
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | Some _ | None ->
+        invalid_arg
+          (Printf.sprintf "EMASK_JOBS: expected a positive integer, got %S" raw))
 
 (* --- cross-manager BDD transport ---------------------------------------
 
@@ -115,22 +123,50 @@ let compute ?jobs ctx ~algorithm ~target =
               Array.of_list
                 (List.filteri (fun i _ -> i mod k = j) (Array.to_list critical))
             in
+            let parent_budget = ctx.Ctx.budget in
             let worker j () =
-              let wctx = Ctx.create ~model circuit in
-              let sigs =
-                match algorithm with
-                | Short_path ->
-                  Exact.sigmas wctx ~opts:Exact.proposed_options ~outputs:(chunk j)
-                    ~target_units
-                | Path_based ->
-                  Exact.sigmas_lateness wctx ~outputs:(chunk j) ~target_units
-              in
-              List.map
-                (fun (nm, y, sigma) -> (nm, y, export wctx.Ctx.man sigma))
-                sigs
+              (* Workers share the parent's cancel flag: the first one
+                 to exhaust its budget cancels the team, and the others
+                 abandon their shards at the next amortized poll. *)
+              let wbudget = Budget.for_worker parent_budget in
+              match
+                let wctx = Ctx.create ~model ~budget:wbudget circuit in
+                let sigs =
+                  match algorithm with
+                  | Short_path ->
+                    Exact.sigmas wctx ~opts:Exact.proposed_options ~outputs:(chunk j)
+                      ~target_units
+                  | Path_based ->
+                    Exact.sigmas_lateness wctx ~outputs:(chunk j) ~target_units
+                in
+                List.map
+                  (fun (nm, y, sigma) -> (nm, y, export wctx.Ctx.man sigma))
+                  sigs
+              with
+              | sigs -> Ok sigs
+              | exception Budget.Budget_exceeded r ->
+                Budget.cancel wbudget;
+                Error r
             in
             let domains = Array.init k (fun j -> Domain.spawn (worker j)) in
-            let per_domain = Array.map Domain.join domains in
+            let joined = Array.map Domain.join domains in
+            (* Every domain has joined; surface the root cause (the
+               first non-Cancelled reason) if any worker ran out. *)
+            let errors =
+              Array.to_list joined
+              |> List.filter_map (function Error r -> Some r | Ok _ -> None)
+            in
+            (match
+               ( List.find_opt (fun r -> r <> Budget.Cancelled) errors,
+                 errors )
+             with
+            | Some r, _ | None, r :: _ -> raise (Budget.Budget_exceeded r)
+            | None, [] -> ());
+            let per_domain =
+              Array.map
+                (function Ok sigs -> sigs | Error _ -> assert false)
+                joined
+            in
             (* Merge in critical-output order: worker j's p-th result is
                critical output j + p*k. Importing into the caller's
                manager happens only here, on the main domain. *)

@@ -14,7 +14,9 @@
 type algorithm = Short_path | Path_based
 
 val default_jobs : unit -> int
-(** [EMASK_JOBS] when set to a positive integer, else 1. *)
+(** [EMASK_JOBS] when set to a positive integer, else 1. A set but
+    malformed or non-positive value raises [Invalid_argument] — the
+    execution mode is never changed silently. *)
 
 val compute : ?jobs:int -> Ctx.t -> algorithm:algorithm -> target:float -> Ctx.result
 (** [jobs] defaults to [default_jobs ()]. The result — outputs in

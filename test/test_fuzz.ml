@@ -125,7 +125,7 @@ let test_oracle_run_catches () =
     {
       Fuzz.Oracle.name = "boom";
       describe = "always raises";
-      check = (fun ~rng:_ _ -> failwith "kaboom");
+      check = (fun ~rng:_ ~budget:_ _ -> failwith "kaboom");
     }
   in
   let net = Fuzz.Gen.network (Fuzz.Gen.generate (Fuzz.Rng.create ~seed:1)) in
