@@ -8,11 +8,14 @@
      wearout   aging sweep with the timing simulator
      trace     trace-buffer window expansion report
      fuzz      property-based differential fuzzing of the whole stack
+     report    diff the EMASK_LEDGER run ledger, incl. bench baselines
 
    Every subcommand accepts --stats (print the instrumentation report:
-   span tree, counters, histograms) and --stats-json FILE (write the
-   same data as JSON). EMASK_OBS=1 in the environment enables the
-   report without a flag.
+   span tree, counters, histograms), --stats-json FILE (the same data
+   as JSON), --trace FILE (Chrome/Perfetto timeline, one row per
+   domain) and --prom FILE (Prometheus text exposition). EMASK_OBS=1
+   in the environment enables the report without a flag, and
+   EMASK_LEDGER=FILE appends one JSONL record per invocation.
 
    Exit codes: 0 success / lint clean; 1 lint warnings under
    --fail-on=warning; 2 lint errors (including pre-flight failures of
@@ -163,17 +166,71 @@ let stats_json_arg =
   let doc = "Write the instrumentation report as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
 
-let obs_term = Term.(const (fun s j -> (s, j)) $ stats_arg $ stats_json_arg)
+let trace_out_arg =
+  let doc =
+    "Write a Chrome/Perfetto trace-event timeline to $(docv) (load it at \
+     ui.perfetto.dev or chrome://tracing): one row per domain, spans as complete \
+     events, budget walls and synthesis-ladder fallbacks as instant markers. \
+     Implies statistics collection."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-(* Run [f] under a root span; afterwards print and/or dump the registry.
-   With neither flag nor EMASK_OBS set, collection stays disabled and
-   output is exactly the uninstrumented CLI's. *)
-let with_obs (stats, json) name f =
-  if stats || json <> None then Obs.set_enabled true;
-  let r = Obs.with_span ("emask." ^ name) f in
+let prom_arg =
+  let doc =
+    "Write the counter/histogram registry in Prometheus text exposition format to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE" ~doc)
+
+let obs_term =
+  Term.(
+    const (fun s j t p -> (s, j, t, p))
+    $ stats_arg $ stats_json_arg $ trace_out_arg $ prom_arg)
+
+let env_truthy name =
+  match Sys.getenv_opt name with None | Some "" | Some "0" -> false | Some _ -> true
+
+(* Run [f] under a root span; afterwards write the requested export
+   files, print the report when asked for, and append the run-ledger
+   record. With no flag, no EMASK_OBS and no EMASK_LEDGER, collection
+   stays disabled and output is exactly the uninstrumented CLI's. The
+   textual report prints only for --stats / EMASK_OBS — a ledger or an
+   export file alone keeps stdout quiet. *)
+let with_obs (stats, json, trace_out, prom) name f =
+  if stats || json <> None || prom <> None || Obs_ledger.enabled () then
+    Obs.set_enabled true;
+  if trace_out <> None then begin
+    Obs.set_enabled true;
+    Obs.set_trace_enabled true
+  end;
+  let r, runtime = Obs.timed ("emask." ^ name) f in
+  Obs_ledger.note "runtime_s" (Obs_json.Float runtime);
   (match json with Some path -> Obs_json.write_file path | None -> ());
-  if Obs.on () then Obs_report.print stdout;
+  (match trace_out with
+  | Some path ->
+    Obs_trace.write_file path;
+    Printf.eprintf "trace written to %s\n%!" path
+  | None -> ());
+  (match prom with Some path -> Obs_prom.write_file path | None -> ());
+  if stats || env_truthy "EMASK_OBS" then Obs_report.print stdout;
+  Obs_ledger.append ~cmd:name ();
   r
+
+(* Ledger facts about the circuit under analysis. The hash is the digest
+   of the canonical BLIF serialization, so "same circuit, different
+   file name" groups together in [emask report]. *)
+let note_circuit spec net =
+  if Obs_ledger.enabled () then begin
+    Obs_ledger.note "circuit" (Obs_json.String spec);
+    Obs_ledger.note "circuit_sha"
+      (Obs_json.String (Digest.to_hex (Digest.string (Blif.to_string net))))
+  end
+
+let note_run ~theta ~jobs =
+  if Obs_ledger.enabled () then begin
+    Obs_ledger.note "theta" (Obs_json.Float theta);
+    Obs_ledger.note "jobs" (Obs_json.Int jobs)
+  end
 
 (* --- subcommands -------------------------------------------------------- *)
 
@@ -236,6 +293,7 @@ let lint_run obs spec fail_on json contract theta jobs =
       end
       else ([], Some (load_circuit spec))
     in
+    (match net with Some n -> note_circuit spec n | None -> ());
     let semantic_diags =
       match net with
       | None -> []
@@ -289,6 +347,8 @@ let spcf_run obs spec theta algo jobs bflags =
   let jobs = resolve_jobs jobs in
   let bspec = resolve_budget bflags in
   let net = load_circuit spec in
+  note_circuit spec net;
+  note_run ~theta ~jobs;
   let mc = Obs.with_span "map" (fun () -> Mapper.map net) in
   let algorithm =
     match algo with
@@ -298,6 +358,12 @@ let spcf_run obs spec theta algo jobs bflags =
   in
   let o = Spcf.Governed.compute ~jobs ~spec:bspec ~algorithm ~theta mc in
   let ctx = o.Spcf.Governed.ctx and r = o.Spcf.Governed.result in
+  if Obs_ledger.enabled () then begin
+    Obs_ledger.note "algorithm" (Obs_json.String r.Spcf.Ctx.algorithm);
+    Obs_ledger.note "tier"
+      (Obs_json.String (Spcf.Governed.tier_to_string o.Spcf.Governed.tier));
+    Obs_ledger.note "compute_s" (Obs_json.Float r.Spcf.Ctx.runtime)
+  end;
   Printf.printf "circuit: %s\n" spec;
   Printf.printf "gates: %d  area: %.1f  delta: %.3f  target: %.3f\n"
     (Mapped.gate_count mc) (Mapped.area mc) (Spcf.Ctx.delta ctx) r.Spcf.Ctx.target;
@@ -324,6 +390,8 @@ let protect_run obs spec theta jobs out bflags =
   guarded @@ fun () ->
   with_obs obs "protect" @@ fun () ->
   let net = load_circuit spec in
+  note_circuit spec net;
+  note_run ~theta ~jobs:(resolve_jobs jobs);
   let options =
     {
       Masking.Synthesis.default_options with
@@ -333,6 +401,9 @@ let protect_run obs spec theta jobs out bflags =
     }
   in
   let m = Masking.Synthesis.synthesize ~options net in
+  if Obs_ledger.enabled () then
+    Obs_ledger.note "tier"
+      (Obs_json.String (Spcf.Governed.tier_to_string m.Masking.Synthesis.tier));
   let r = Masking.Verify.check m in
   Format.printf "circuit: %s@." spec;
   Format.printf "%a@." Masking.Verify.pp r;
@@ -359,10 +430,14 @@ let wearout_run obs spec trials bflags =
   guarded @@ fun () ->
   with_obs obs "wearout" @@ fun () ->
   let net = load_circuit spec in
+  note_circuit spec net;
   let options =
     { Masking.Synthesis.default_options with budget = resolve_budget bflags }
   in
   let m = Masking.Synthesis.synthesize ~options net in
+  if Obs_ledger.enabled () then
+    Obs_ledger.note "tier"
+      (Obs_json.String (Spcf.Governed.tier_to_string m.Masking.Synthesis.tier));
   report_synthesis_degradation m;
   let samples =
     Obs.with_span "aging-sweep" (fun () -> Masking.Monitor.aging_sweep ~trials m)
@@ -382,6 +457,7 @@ let trace_run obs spec buffer cycles =
   guarded @@ fun () ->
   with_obs obs "trace" @@ fun () ->
   let net = load_circuit spec in
+  note_circuit spec net;
   let m = Masking.Synthesis.synthesize net in
   let r =
     Obs.with_span "selective-capture" (fun () ->
@@ -470,7 +546,14 @@ let fuzz_run obs seed count time_budget oracle shrink out bflags =
         out_dir = Some out;
       }
     in
+    if Obs_ledger.enabled () then begin
+      Obs_ledger.note "seed" (Obs_json.Int seed);
+      Obs_ledger.note "count" (Obs_json.Int count)
+    end;
     let summary = Fuzz.Driver.run config in
+    if Obs_ledger.enabled () then
+      Obs_ledger.note "failures"
+        (Obs_json.Int (List.length summary.Fuzz.Driver.failures));
     List.iter
       (fun o ->
         Printf.printf "  oracle %-16s %s\n" o.Fuzz.Oracle.name o.Fuzz.Oracle.describe)
@@ -491,6 +574,216 @@ let fuzz_cmd =
       const fuzz_run $ obs_term $ seed_arg $ count_arg $ time_budget_arg $ oracle_arg
       $ shrink_arg $ fuzz_out_arg $ budget_term)
 
+(* --- report: diff run-ledger trajectories ------------------------------- *)
+
+(* Typed accessors over ledger records (missing fields are simply absent
+   — older schema versions and hand-written records must still print). *)
+let field_string key r =
+  match Obs_json.member key r with Some (Obs_json.String s) -> Some s | _ -> None
+
+let field_float key r =
+  match Obs_json.member key r with
+  | Some (Obs_json.Float f) -> Some f
+  | Some (Obs_json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let field_counters r =
+  match Obs_json.member "counters" r with
+  | Some (Obs_json.Obj fields) ->
+    List.filter_map
+      (fun (k, v) -> match v with Obs_json.Int i -> Some (k, i) | _ -> None)
+      fields
+  | _ -> []
+
+(* Runs group by what they computed: the command plus the circuit
+   identity (content hash when known, name otherwise; bench rows use
+   the case name). *)
+let record_group r =
+  let cmd = Option.value ~default:"?" (field_string "cmd" r) in
+  let subject =
+    match field_string "case" r with
+    | Some c -> c
+    | None -> (
+      match (field_string "circuit_sha" r, field_string "circuit" r) with
+      | Some sha, Some c -> Printf.sprintf "%s#%s" c (String.sub sha 0 8)
+      | Some sha, None -> sha
+      | None, Some c -> c
+      | None, None -> "-")
+  in
+  (cmd, subject)
+
+let record_time r =
+  match field_float "runtime_s" r with
+  | Some t -> Some ("runtime", t)
+  | None -> (
+    match field_float "ns_per_run" r with
+    | Some ns -> Some ("per-run", ns /. 1e9)
+    | None -> None)
+
+let pp_delta ?(what = "prev") cur prev =
+  if prev > 0. then
+    Printf.sprintf " (%+.1f%% vs %s)" ((cur /. prev -. 1.) *. 100.) what
+  else ""
+
+let print_group (cmd, subject) records =
+  let n = List.length records in
+  let latest = List.nth records (n - 1) in
+  let prev = if n >= 2 then Some (List.nth records (n - 2)) else None in
+  Printf.printf "%s %s  (%d run%s)\n" cmd subject n (if n = 1 then "" else "s");
+  let describe r =
+    String.concat "  "
+      (List.filter_map
+         (fun f -> f r)
+         [
+           (fun r -> field_string "ts_iso" r);
+           (fun r ->
+             Option.map (fun (what, t) -> Printf.sprintf "%s %.4fs" what t)
+               (record_time r));
+           (fun r -> Option.map (fun t -> "tier " ^ t) (field_string "tier" r));
+           (fun r ->
+             Option.map
+               (fun j -> Printf.sprintf "jobs %d" (int_of_float j))
+               (field_float "jobs" r));
+         ])
+  in
+  Printf.printf "  latest: %s%s\n" (describe latest)
+    (match (record_time latest, Option.bind prev record_time) with
+    | Some (_, cur), Some (_, p) -> pp_delta cur p
+    | _ -> "");
+  (match prev with
+  | Some p -> Printf.printf "  prev:   %s\n" (describe p)
+  | None -> ());
+  (* Counter drift: the latest run's counters against the previous
+     run's, changed entries only — constant counters are noise here. *)
+  match prev with
+  | None -> ()
+  | Some p ->
+    let prev_counters = field_counters p in
+    List.iter
+      (fun (k, v) ->
+        match List.assoc_opt k prev_counters with
+        | Some pv when pv <> v ->
+          Printf.printf "  counter %-32s %d -> %d%s\n" k pv v
+            (if pv > 0 then
+               Printf.sprintf " (%+.1f%%)"
+                 ((float_of_int v /. float_of_int pv -. 1.) *. 100.)
+             else "")
+        | _ -> ())
+      (field_counters latest)
+
+(* Bench baselines (BENCH_*.json): case name -> ns_per_run. *)
+let baseline_entries path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Obs_json.of_string s with
+  | Error e -> failwith (Printf.sprintf "%s: %s" path e)
+  | Ok j -> (
+    match Obs_json.member "results" j with
+    | Some (Obs_json.Obj fields) ->
+      List.filter_map
+        (fun (name, entry) ->
+          Option.map (fun ns -> (name, ns)) (field_float "ns_per_run" entry))
+        fields
+    | _ -> failwith (Printf.sprintf "%s: no results object" path))
+
+let compare_against_baselines ~baselines records =
+  let latest_ns = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match (field_string "case" r, field_float "ns_per_run" r) with
+      | Some case, Some ns -> Hashtbl.replace latest_ns case ns
+      | _ -> ())
+    records;
+  let compared = ref 0 in
+  List.iter
+    (fun (name, base) ->
+      match Hashtbl.find_opt latest_ns name with
+      | Some ns when base > 0. ->
+        incr compared;
+        Printf.printf "  %-48s %10.3f ms/run  baseline %10.3f%s\n" name (ns /. 1e6)
+          (base /. 1e6)
+          (pp_delta ~what:"baseline" ns base)
+      | _ -> ())
+    baselines;
+  if !compared = 0 then
+    Printf.printf "  (no ledger bench records match the baseline cases)\n"
+
+let report_run ledger againsts last =
+  guarded @@ fun () ->
+  let path =
+    match (ledger, Obs_ledger.path ()) with
+    | Some p, _ -> p
+    | None, Some p -> p
+    | None, None ->
+      cli_error "LEDGER001"
+        (Printf.sprintf "no ledger: pass --ledger FILE or set %s"
+           Obs_ledger.env_var)
+  in
+  let records =
+    match Obs_ledger.read_file path with
+    | Ok rs -> rs
+    | Error e -> cli_error "LEDGER002" e
+  in
+  let records =
+    (* Most recent N, in chronological order. *)
+    let n = List.length records in
+    if n <= last then records
+    else List.filteri (fun i _ -> i >= n - last) records
+  in
+  if records = [] then print_endline "ledger is empty"
+  else begin
+    Printf.printf "ledger: %s  (%d record%s shown)\n\n" path (List.length records)
+      (if List.length records = 1 then "" else "s");
+    let groups = ref [] in
+    List.iter
+      (fun r ->
+        let g = record_group r in
+        match List.assoc_opt g !groups with
+        | Some rs -> rs := r :: !rs
+        | None -> groups := !groups @ [ (g, ref [ r ]) ])
+      records;
+    List.iter
+      (fun (g, rs) ->
+        print_group g (List.rev !rs);
+        print_newline ())
+      !groups;
+    match againsts with
+    | [] -> ()
+    | paths ->
+      let baselines = List.concat_map baseline_entries paths in
+      Printf.printf "against %s:\n" (String.concat ", " paths);
+      compare_against_baselines ~baselines records
+  end
+
+let ledger_arg =
+  let doc =
+    Printf.sprintf "Ledger file to report on (default: \\$(b,%s))."
+      Obs_ledger.env_var
+  in
+  Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+
+let against_arg =
+  let doc =
+    "Compare the ledger's latest bench records against a $(b,BENCH_*.json) \
+     baseline (repeatable)."
+  in
+  Arg.(value & opt_all string [] & info [ "against" ] ~docv:"FILE" ~doc)
+
+let last_arg =
+  let doc = "Only consider the most recent $(docv) ledger records." in
+  Arg.(value & opt int 50 & info [ "last" ] ~docv:"N" ~doc)
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Diff run-ledger trajectories: group the JSONL records appended under \
+          \\$(b,EMASK_LEDGER) by command and circuit, show runtime and counter \
+          drift between consecutive runs, and compare bench records against \
+          committed BENCH_*.json baselines")
+    Term.(const report_run $ ledger_arg $ against_arg $ last_arg)
+
 let () =
   let info =
     Cmd.info "emask" ~version:"1.0.0"
@@ -499,4 +792,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; lint_cmd; spcf_cmd; protect_cmd; wearout_cmd; trace_cmd; fuzz_cmd ]))
+          [
+            list_cmd; lint_cmd; spcf_cmd; protect_cmd; wearout_cmd; trace_cmd;
+            fuzz_cmd; report_cmd;
+          ]))

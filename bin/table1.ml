@@ -6,7 +6,13 @@
    With `--stats-json FILE` (or EMASK_OBS=1 plus the flag), a JSON
    sidecar of per-circuit / per-algorithm internal statistics (span
    tree, BDD and recursion counters, histograms) is written alongside
-   the table — diffable against BENCH_*.json trajectories. *)
+   the table — diffable against BENCH_*.json trajectories.
+
+   With `--trace FILE`, a Chrome/Perfetto timeline of the whole table
+   regeneration (one row per worker domain under --jobs) is written.
+   Combining it with --stats-json truncates the timeline: the sidecar
+   isolates each algorithm run in a fresh registry, which also clears
+   the trace buffer. *)
 
 let line = String.make 118 '-'
 
@@ -132,14 +138,17 @@ let run_row ~collect ~jobs ~spec entry =
     },
     stats )
 
-let stats_json_path () =
+let flag_value flag =
   let rec scan i =
     if i >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = "--stats-json" && i + 1 < Array.length Sys.argv then
+    else if Sys.argv.(i) = flag && i + 1 < Array.length Sys.argv then
       Some Sys.argv.(i + 1)
     else scan (i + 1)
   in
   scan 1
+
+let stats_json_path () = flag_value "--stats-json"
+let trace_path () = flag_value "--trace"
 
 (* `--jobs N` (default: EMASK_JOBS, else 1) fans the short-path and
    path-based SPCF computations out over N domains; counts are
@@ -192,10 +201,18 @@ let budget_spec () =
 let () =
   guarded @@ fun () ->
   let sidecar = stats_json_path () in
+  let trace = trace_path () in
   let jobs = jobs_arg () in
   let spec = budget_spec () in
   if sidecar <> None then Obs.set_enabled true;
-  let collect = Obs.on () in
+  if trace <> None then begin
+    Obs.set_enabled true;
+    Obs.set_trace_enabled true
+  end;
+  (* Per-run registry isolation (and its resets) exists only for the
+     sidecar's attribution; a plain --trace or EMASK_OBS run keeps one
+     registry so the timeline survives to the end. *)
+  let collect = sidecar <> None in
   Printf.printf "Table 1: accuracy vs. runtime of SPCF computation (target = 0.9 x critical path delay)\n";
   Printf.printf "%s\n" line;
   Printf.printf "%-18s %-9s %-7s | %-12s %-8s | %-12s %-8s | %-12s %-8s | %s\n"
@@ -229,6 +246,11 @@ let () =
     Printf.printf
       "*: computed on a degraded tier under the resource budget (see the checks\n\
        column for the landing tier); starred counts over-approximate the exact Σ.\n";
+  (match trace with
+  | Some path ->
+    Obs_trace.write_file path;
+    Printf.printf "trace written to %s\n" path
+  | None -> ());
   match sidecar with
   | None -> ()
   | Some path ->

@@ -20,15 +20,21 @@ let guarded f =
     cli_error "BUDGET001" ("resource budget exhausted: " ^ Budget.reason_to_string r)
 
 (* `--stats-json FILE` writes a per-circuit JSON sidecar of the
-   synthesis/verification internals (spans, counters, histograms). *)
-let stats_json_path () =
+   synthesis/verification internals (spans, counters, histograms).
+   `--trace FILE` writes a Chrome/Perfetto timeline of the whole suite
+   run; combining both truncates the timeline, because the sidecar's
+   per-circuit registry resets also clear the trace buffer. *)
+let flag_value flag =
   let rec scan i =
     if i >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = "--stats-json" && i + 1 < Array.length Sys.argv then
+    else if Sys.argv.(i) = flag && i + 1 < Array.length Sys.argv then
       Some Sys.argv.(i + 1)
     else scan (i + 1)
   in
   scan 1
+
+let stats_json_path () = flag_value "--stats-json"
+let trace_path () = flag_value "--trace"
 
 (* `--jobs N` (default: EMASK_JOBS, else 1) fans the SPCF stage of each
    synthesis out over N domains. The printed table is byte-identical for
@@ -81,10 +87,18 @@ let budget_spec () =
 let () =
   guarded @@ fun () ->
   let sidecar = stats_json_path () in
+  let trace = trace_path () in
   let jobs = jobs_arg () in
   let budget = budget_spec () in
   if sidecar <> None then Obs.set_enabled true;
-  let collect = Obs.on () in
+  if trace <> None then begin
+    Obs.set_enabled true;
+    Obs.set_trace_enabled true
+  end;
+  (* Registry resets isolate per-circuit sidecar attribution only; a
+     plain --trace or EMASK_OBS run keeps one registry so the timeline
+     survives to the end. *)
+  let collect = sidecar <> None in
   let all_stats = ref [] in
   Printf.printf
     "Table 2: area and power overhead for 100%% masking of timing errors on speed-paths\n";
@@ -141,6 +155,11 @@ let () =
     Printf.printf "budget: degraded circuits: %s\n"
       (String.concat ", "
          (List.rev_map (fun (n, t) -> Printf.sprintf "%s (%s)" n t) !degraded));
+  (match trace with
+  | Some path ->
+    Obs_trace.write_file path;
+    Printf.printf "trace written to %s\n" path
+  | None -> ());
   match sidecar with
   | None -> ()
   | Some path ->

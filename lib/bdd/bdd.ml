@@ -130,6 +130,7 @@ let is_terminal n = n < 2
 
 let grow_nodes man =
   Obs.incr c_grow;
+  Obs.instant "bdd.grow";
   let cap = Array.length man.var in
   if cap >= max_nodes then failwith "Bdd: node limit (2^30) exceeded";
   let cap' = cap * 2 in
@@ -147,6 +148,7 @@ let grow_nodes man =
    are no tombstones and every probe chain is a contiguous run. *)
 let unique_rehash man =
   Obs.incr c_unique_rehash;
+  Obs.instant "bdd.unique.rehash";
   let mask' = ((man.umask + 1) * 2) - 1 in
   let t' = Array.make (mask' + 1) 0 in
   for n = 2 to man.n_nodes - 1 do

@@ -93,11 +93,21 @@ let exceed reason =
     | Nodes -> c_nodes
     | Ops -> c_ops
     | Cancelled -> c_cancelled);
+  Obs.instant ("budget.exceeded." ^ reason_to_string reason);
   raise (Budget_exceeded reason)
 
 let instantiate spec =
   if is_no_limits spec then unlimited
-  else
+  else begin
+    (* A governed run that hits no wall must still be distinguishable
+       from an ungoverned one: registering the zeros up front puts
+       "budget.exceeded* = 0" in every --stats / ledger / Prometheus
+       view of a budgeted run. *)
+    Obs.touch_counter c_exceeded;
+    Obs.touch_counter c_deadline;
+    Obs.touch_counter c_nodes;
+    Obs.touch_counter c_ops;
+    Obs.touch_counter c_cancelled;
     {
       deadline =
         (match spec.timeout with None -> infinity | Some s -> Obs.now () +. s);
@@ -106,6 +116,7 @@ let instantiate spec =
       ops = 0;
       cancel_flag = Atomic.make false;
     }
+  end
 
 let create ?timeout ?max_nodes ?max_ops () =
   instantiate { timeout; max_nodes; max_ops }

@@ -45,10 +45,23 @@ type summary = {
 let sanitize msg =
   String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) msg
 
+(* The environment knobs that change how a failure reproduces: a repro
+   found under --jobs 4 with a tight budget may not fire sequentially
+   and unbounded, so the header pins what the run actually saw. *)
+let env_header () =
+  [ "EMASK_JOBS"; "EMASK_BUDGET_TIMEOUT"; "EMASK_BUDGET_MAX_NODES";
+    "EMASK_BUDGET_MAX_OPS"; "EMASK_OBS" ]
+  |> List.map (fun v ->
+         Printf.sprintf "%s=%s" v
+           (match Sys.getenv_opt v with
+           | None | Some "" -> "unset"
+           | Some s -> sanitize s))
+  |> String.concat " "
+
 let repro_blif ~oracle ~seed ~index ~message spec =
   Printf.sprintf
-    "# emask fuzz repro\n# oracle: %s\n# seed: %d  index: %d\n# %s\n%s" oracle seed
-    index (sanitize message)
+    "# emask fuzz repro\n# oracle: %s\n# seed: %d  index: %d\n# env: %s\n# %s\n%s"
+    oracle seed index (env_header ()) (sanitize message)
     (Blif.to_string ~model:(Printf.sprintf "fuzz_%s_%d_%d" oracle seed index)
        (Gen.network spec))
 

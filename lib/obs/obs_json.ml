@@ -274,6 +274,14 @@ let snapshot () =
           (List.map
              (fun (k, st) -> (k, hist_json st))
              (Obs.registered_histograms ())) );
+      ( "domains",
+        (* Per-domain counter attribution, one entry per merged worker
+           snapshot; empty for sequential runs. *)
+        Obj
+          (List.map
+             (fun (label, counters) ->
+               (label, Obj (List.map (fun (k, v) -> (k, Int v)) counters)))
+             (Obs.domain_breakdown ())) );
     ]
 
 let write_file path =

@@ -1,0 +1,109 @@
+(* Persistent run ledger: one JSONL record per CLI invocation.
+
+   When EMASK_LEDGER names a file, every instrumented binary appends a
+   single self-describing JSON line when it finishes — the command, its
+   argv, whatever run facts the command noted along the way (circuit
+   hash, jobs, landed tier, runtime, ns/run), and the final counter
+   registry. Appending a line is the whole protocol: the ledger is
+   greppable, survives crashes of later runs, and `emask report` can
+   diff trajectories across days of runs without any daemon.
+
+   Records are stamped with wall-clock epoch seconds (CLOCK_REALTIME —
+   the one place the monotonic span clock is wrong, because ledger rows
+   must order across process restarts and reboots). *)
+
+external realtime_now : unit -> float = "emask_obs_realtime_now"
+
+let env_var = "EMASK_LEDGER"
+let schema = "emask-ledger/1"
+
+let path () =
+  match Sys.getenv_opt env_var with None | Some "" -> None | Some p -> Some p
+
+let enabled () = path () <> None
+
+(* Run facts accumulated by the current invocation; [note] keeps the
+   last value per key, in first-note order. Cleared by [append]. *)
+let notes : (string * Obs_json.t) list ref = ref []
+
+let note key v =
+  if List.mem_assoc key !notes then
+    notes := List.map (fun (k, old) -> (k, if k = key then v else old)) !notes
+  else notes := !notes @ [ (key, v) ]
+
+(* Epoch seconds -> ISO-8601 UTC, via the standard civil-from-days
+   conversion (no Unix dependency; the ledger must work everywhere the
+   library does). *)
+let iso8601 t =
+  let days = int_of_float (Float.floor (t /. 86400.)) in
+  let secs = int_of_float (t -. (float_of_int days *. 86400.)) in
+  let secs = min 86399 (max 0 secs) in
+  let z = days + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = mp + if mp < 10 then 3 else -9 in
+  let y = if m <= 2 then y + 1 else y in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" y m d (secs / 3600)
+    (secs mod 3600 / 60) (secs mod 60)
+
+let record ~cmd () =
+  let ts = realtime_now () in
+  Obs_json.Obj
+    ([
+       ("schema", Obs_json.String schema);
+       ("ts", Obs_json.Float ts);
+       ("ts_iso", Obs_json.String (iso8601 ts));
+       ("cmd", Obs_json.String cmd);
+       ("argv", Obs_json.List (List.map (fun a -> Obs_json.String a)
+                                 (Array.to_list Sys.argv)));
+     ]
+    @ !notes
+    @ [
+        ( "counters",
+          Obs_json.Obj
+            (List.map (fun (k, v) -> (k, Obs_json.Int v)) (Obs.registered_counters ()))
+        );
+      ])
+
+(* Append is best-effort by design: a read-only filesystem or a bad
+   EMASK_LEDGER path must not fail the run it is trying to describe. *)
+let append ?path:p ~cmd () =
+  match (match p with Some _ -> p | None -> path ()) with
+  | None -> ()
+  | Some file -> (
+    let line = Obs_json.to_string (record ~cmd ()) in
+    notes := [];
+    match open_out_gen [ Open_append; Open_creat ] 0o644 file with
+    | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc line;
+          output_char oc '\n')
+    | exception Sys_error msg -> Printf.eprintf "emask: ledger: %s\n%!" msg)
+
+let read_file file =
+  match open_in file with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let records = ref [] and line_no = ref 0 and err = ref None in
+        (try
+           while !err = None do
+             let line = input_line ic in
+             Stdlib.incr line_no;
+             if String.trim line <> "" then
+               match Obs_json.of_string line with
+               | Ok v -> records := v :: !records
+               | Error e ->
+                 err := Some (Printf.sprintf "%s: line %d: %s" file !line_no e)
+           done
+         with End_of_file -> ());
+        match !err with Some e -> Error e | None -> Ok (List.rev !records))

@@ -1,0 +1,95 @@
+(* Prometheus text-exposition (version 0.0.4) renderer of the Obs
+   registry — the exact payload a future `emask serve` daemon will
+   return from its /metrics endpoint, exposed today behind `--prom` so
+   the format is exercised, tested and scrape-able from file-based
+   collectors long before the daemon exists.
+
+   Mapping:
+   - every counter becomes an [emask_]-prefixed gauge (gauge, not
+     counter: the registry also holds high-water marks, and a fresh
+     process restarts all of them — gauge semantics are the honest
+     ones for both);
+   - every log2 histogram becomes a Prometheus histogram. Obs bucket i
+     holds integer samples in [2^(i-1), 2^i), so the cumulative count
+     at le = 2^i - 1 is exact — no approximation is introduced by the
+     translation;
+   - spans are flattened to two labelled families,
+     emask_span_seconds{span="a/b"} and emask_span_calls{span="a/b"},
+     with the tree path joined by '/'. *)
+
+let prefix = "emask_"
+
+(* Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Everything else maps to '_'. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    name
+
+(* Label values: escape backslash, double-quote and newline. *)
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let add_counter buf (name, value) =
+  let m = prefix ^ sanitize name in
+  Printf.bprintf buf "# HELP %s emask counter %s\n" m name;
+  Printf.bprintf buf "# TYPE %s gauge\n" m;
+  Printf.bprintf buf "%s %d\n" m value
+
+let add_histogram buf (name, (st : Obs.hist_stats)) =
+  let m = prefix ^ sanitize name in
+  Printf.bprintf buf "# HELP %s emask histogram %s\n" m name;
+  Printf.bprintf buf "# TYPE %s histogram\n" m;
+  let cumulative = ref 0 in
+  List.iter
+    (fun (lo, count) ->
+      cumulative := !cumulative + count;
+      (* Bucket [lo, 2*lo) over integers: inclusive upper bound 2*lo-1
+         (the bucket at lo = 0 holds exactly {0}). *)
+      let le = if lo = 0 then 0 else (2 * lo) - 1 in
+      Printf.bprintf buf "%s_bucket{le=\"%d\"} %d\n" m le !cumulative)
+    st.Obs.hbuckets;
+  Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" m st.Obs.hn;
+  Printf.bprintf buf "%s_sum %d\n" m st.Obs.hsum;
+  Printf.bprintf buf "%s_count %d\n" m st.Obs.hn
+
+let add_spans buf root =
+  let seconds = Buffer.create 256 and calls = Buffer.create 256 in
+  let rec walk path (s : Obs.span) =
+    let path = if path = "" then s.Obs.sname else path ^ "/" ^ s.Obs.sname in
+    Printf.bprintf seconds "%sspan_seconds{span=\"%s\"} %.9f\n" prefix
+      (escape_label path) s.Obs.total;
+    Printf.bprintf calls "%sspan_calls{span=\"%s\"} %d\n" prefix
+      (escape_label path) s.Obs.calls;
+    List.iter (walk path) (List.rev s.Obs.children)
+  in
+  match List.rev root.Obs.children with
+  | [] -> ()
+  | tops ->
+    List.iter (walk "") tops;
+    Printf.bprintf buf "# HELP %sspan_seconds accumulated span wall time\n" prefix;
+    Printf.bprintf buf "# TYPE %sspan_seconds gauge\n" prefix;
+    Buffer.add_buffer buf seconds;
+    Printf.bprintf buf "# HELP %sspan_calls span activation count\n" prefix;
+    Printf.bprintf buf "# TYPE %sspan_calls gauge\n" prefix;
+    Buffer.add_buffer buf calls
+
+let render () =
+  let buf = Buffer.create 1024 in
+  List.iter (add_counter buf) (Obs.registered_counters ());
+  List.iter (add_histogram buf) (Obs.registered_histograms ());
+  add_spans buf (Obs.root ());
+  Buffer.contents buf
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render ()))

@@ -1,0 +1,14 @@
+(** Prometheus text-exposition renderer of the Obs registry.
+
+    [render ()] produces the version-0.0.4 text format a /metrics
+    endpoint serves: every counter as an [emask_]-prefixed gauge, every
+    log2 histogram as a Prometheus histogram whose cumulative bucket
+    bounds ([le = 2^i - 1], integers) are exact, and the span tree
+    flattened into [emask_span_seconds]/[emask_span_calls] families
+    labelled by the '/'-joined span path. This is the payload the
+    future [emask serve] daemon's /metrics endpoint will emit. *)
+
+val render : unit -> string
+
+val write_file : string -> unit
+(** [render] to a file (for `--prom FILE` and file-based scrapers). *)

@@ -7,9 +7,14 @@
 #include <caml/alloc.h>
 #include <caml/mlvalues.h>
 
+/* The realtime clock (emask_obs_realtime_now) is the one exception:
+   the run ledger stamps records with wall-clock epoch seconds so runs
+   can be ordered across reboots. It is never used for durations. */
+
 #if defined(_WIN32)
 
 #include <windows.h>
+#include <time.h>
 
 CAMLprim value emask_obs_monotonic_now(value unit)
 {
@@ -18,6 +23,12 @@ CAMLprim value emask_obs_monotonic_now(value unit)
   QueryPerformanceFrequency(&freq);
   QueryPerformanceCounter(&count);
   return caml_copy_double((double)count.QuadPart / (double)freq.QuadPart);
+}
+
+CAMLprim value emask_obs_realtime_now(value unit)
+{
+  (void)unit;
+  return caml_copy_double((double)time(NULL));
 }
 
 #else
@@ -29,6 +40,14 @@ CAMLprim value emask_obs_monotonic_now(value unit)
   struct timespec ts;
   (void)unit;
   clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec);
+}
+
+CAMLprim value emask_obs_realtime_now(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_REALTIME, &ts);
   return caml_copy_double((double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec);
 }
 

@@ -1,0 +1,72 @@
+(* Chrome/Perfetto trace-event JSON writer.
+
+   Renders the calling domain's trace buffer (its own events plus every
+   merged worker snapshot) in the trace-event format both
+   chrome://tracing and https://ui.perfetto.dev load directly:
+
+   - one timeline row ("thread") per domain — tid 0 is the coordinating
+     domain, merged workers get tids 1..N, each named by a thread_name
+     metadata event;
+   - every closed span activation is a complete ("ph":"X") event with
+     microsecond ts/dur on the shared process clock;
+   - instant markers (budget walls, synthesis-ladder fallbacks, BDD
+     table growth) are thread-scoped instant ("ph":"i") events.
+
+   The JSON-object form ({"traceEvents": [...]}) is used rather than the
+   bare array so viewers accept the file without guessing, and
+   displayTimeUnit keeps Perfetto's ruler in milliseconds. *)
+
+let pid = 1
+
+let meta_json ~tid ~name ~value =
+  Obs_json.Obj
+    [
+      ("ph", Obs_json.String "M");
+      ("pid", Obs_json.Int pid);
+      ("tid", Obs_json.Int tid);
+      ("name", Obs_json.String name);
+      ("args", Obs_json.Obj [ ("name", Obs_json.String value) ]);
+    ]
+
+let event_json (e : Obs.trace_event) =
+  let common =
+    [
+      ("name", Obs_json.String e.Obs.ev_name);
+      ("cat", Obs_json.String "emask");
+      ("pid", Obs_json.Int pid);
+      ("tid", Obs_json.Int e.Obs.ev_tid);
+      ("ts", Obs_json.Float (Float.max 0. e.Obs.ev_ts_us));
+    ]
+  in
+  match e.Obs.ev_kind with
+  | `Complete ->
+    Obs_json.Obj
+      (common
+      @ [
+          ("ph", Obs_json.String "X");
+          ("dur", Obs_json.Float (Float.max 0. e.Obs.ev_dur_us));
+        ])
+  | `Instant ->
+    Obs_json.Obj (common @ [ ("ph", Obs_json.String "i"); ("s", Obs_json.String "t") ])
+
+let render () =
+  let metas =
+    meta_json ~tid:0 ~name:"process_name" ~value:"emask"
+    :: List.map
+         (fun (tid, label) -> meta_json ~tid ~name:"thread_name" ~value:label)
+         (Obs.thread_labels ())
+  in
+  let events = List.map event_json (Obs.trace_events ()) in
+  Obs_json.Obj
+    [
+      ("traceEvents", Obs_json.List (metas @ events));
+      ("displayTimeUnit", Obs_json.String "ms");
+    ]
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Obs_json.to_channel oc (render ());
+      output_char oc '\n')

@@ -1,0 +1,18 @@
+(** Chrome/Perfetto trace-event JSON export of the Obs trace buffer.
+
+    Produces the trace-event format ([{"traceEvents": [...]}] with
+    microsecond timestamps) that chrome://tracing and Perfetto load
+    directly: one timeline row per domain (tid 0 is the coordinating
+    domain, merged worker snapshots get rows 1..N, named by
+    [thread_name] metadata events), closed span activations as complete
+    ["X"] events, and {!Obs.instant} markers as instant ["i"] events.
+
+    Tracing must have been enabled ({!Obs.set_trace_enabled} or
+    [EMASK_TRACE]) while the traced computation ran; with an empty
+    buffer the output is a valid trace with metadata only. *)
+
+val render : unit -> Obs_json.t
+(** The trace as a JSON value (for embedding or testing). *)
+
+val write_file : string -> unit
+(** Write the trace to [path], newline-terminated. *)

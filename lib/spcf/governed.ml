@@ -26,8 +26,22 @@ let h_outputs_always = Obs.histogram "spcf.tier.always_on.outputs"
 
 let record_fallback = function
   | Exact -> ()
-  | Node_fallback -> Obs.incr c_fallback_node
-  | Always_on -> Obs.incr c_fallback_always
+  | Node_fallback ->
+    Obs.incr c_fallback_node;
+    Obs.instant "spcf.fallback.node_based"
+  | Always_on ->
+    Obs.incr c_fallback_always;
+    Obs.instant "spcf.fallback.always_on"
+
+(* A governed run that never falls back must still show "fallbacks = 0"
+   rather than nothing: register the ladder metrics the moment a real
+   budget enters the picture. *)
+let touch_ladder_metrics () =
+  Obs.touch_counter c_fallback_node;
+  Obs.touch_counter c_fallback_always;
+  Obs.touch_histogram h_outputs_exact;
+  Obs.touch_histogram h_outputs_node;
+  Obs.touch_histogram h_outputs_always
 
 let record_tier tier result =
   Obs.observe
@@ -86,6 +100,7 @@ let compute ?jobs ?(model = Sta.Library) ?(spec = Budget.no_limits) ~algorithm ~
     finish ~tier:Exact ~attempts:[]
       (run_tier ?jobs ~model ~budget:Budget.unlimited ~theta algorithm circuit)
   else begin
+    touch_ladder_metrics ();
     let budget = Budget.instantiate spec in
     match run_tier ?jobs ~model ~budget ~theta algorithm circuit with
     | pair -> finish ~tier:Exact ~attempts:[] pair

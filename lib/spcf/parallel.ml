@@ -14,11 +14,12 @@
    algorithm unchanged, keeping single-job runs bit-for-bit identical to
    the pre-parallel code path.
 
-   Worker domains never touch the Obs registry meaningfully: the
-   registry is global and deliberately lock-free, so when statistics
-   collection is enabled the computation stays on the main domain
-   (correct stats beat parallel stats-free runs for a profiling
-   session). *)
+   Observability composes with parallelism: each worker domain gets its
+   own domain-local Obs collectors for free (Domain.DLS), exports a
+   snapshot as its last act, and the main domain merges the snapshots in
+   worker order after the join — so `--jobs N --stats` reports true
+   parallel behaviour with per-domain attribution, and counter totals
+   are deterministic for a fixed (circuit, jobs) pair. *)
 
 type algorithm = Short_path | Path_based
 
@@ -99,7 +100,6 @@ let sequential ctx ~algorithm ~target =
 
 let compute ?jobs ctx ~algorithm ~target =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  let jobs = if Obs.on () then 1 else jobs in
   if jobs = 1 then sequential ctx ~algorithm ~target
   else begin
     let critical = Sta.critical_outputs ctx.Ctx.sta ~target in
@@ -124,32 +124,50 @@ let compute ?jobs ctx ~algorithm ~target =
                 (List.filteri (fun i _ -> i mod k = j) (Array.to_list critical))
             in
             let parent_budget = ctx.Ctx.budget in
+            let collect = Obs.on () in
             let worker j () =
               (* Workers share the parent's cancel flag: the first one
                  to exhaust its budget cancels the team, and the others
                  abandon their shards at the next amortized poll. *)
               let wbudget = Budget.for_worker parent_budget in
-              match
-                let wctx = Ctx.create ~model ~budget:wbudget circuit in
-                let sigs =
-                  match algorithm with
-                  | Short_path ->
-                    Exact.sigmas wctx ~opts:Exact.proposed_options ~outputs:(chunk j)
-                      ~target_units
-                  | Path_based ->
-                    Exact.sigmas_lateness wctx ~outputs:(chunk j) ~target_units
-                in
-                List.map
-                  (fun (nm, y, sigma) -> (nm, y, export wctx.Ctx.man sigma))
-                  sigs
-              with
-              | sigs -> Ok sigs
-              | exception Budget.Budget_exceeded r ->
-                Budget.cancel wbudget;
-                Error r
+              let res =
+                match
+                  let wctx = Ctx.create ~model ~budget:wbudget circuit in
+                  let sigs =
+                    match algorithm with
+                    | Short_path ->
+                      Exact.sigmas wctx ~opts:Exact.proposed_options
+                        ~outputs:(chunk j) ~target_units
+                    | Path_based ->
+                      Exact.sigmas_lateness wctx ~outputs:(chunk j) ~target_units
+                  in
+                  List.map
+                    (fun (nm, y, sigma) -> (nm, y, export wctx.Ctx.man sigma))
+                    sigs
+                with
+                | sigs -> Ok sigs
+                | exception Budget.Budget_exceeded r ->
+                  Budget.cancel wbudget;
+                  Error r
+              in
+              (* Exporting the snapshot is the worker's last act, on
+                 both the success and the budget-exceeded path: partial
+                 work must still be attributed. *)
+              (res, if collect then Some (Obs.export_snapshot ()) else None)
             in
             let domains = Array.init k (fun j -> Domain.spawn (worker j)) in
             let joined = Array.map Domain.join domains in
+            (* Merge observability snapshots first, in worker order, so
+               the registry is complete and deterministic even when a
+               budget error propagates below. *)
+            Array.iteri
+              (fun j (_, snap) ->
+                match snap with
+                | Some s ->
+                  Obs.merge_snapshot ~label:(Printf.sprintf "worker %d" (j + 1)) s
+                | None -> ())
+              joined;
+            let joined = Array.map fst joined in
             (* Every domain has joined; surface the root cause (the
                first non-Cancelled reason) if any worker ran out. *)
             let errors =

@@ -7,9 +7,11 @@
     them into the caller's manager in critical-output order, so results
     are deterministic and function-identical to the sequential
     algorithms. With [jobs = 1] (the default) the sequential code path
-    runs unchanged. When Obs statistics collection is enabled the
-    computation stays on the main domain (the registry is global and
-    lock-free by design). *)
+    runs unchanged. Obs collection composes with parallelism: workers
+    record into domain-local collectors, and their snapshots are merged
+    into the main domain's registry in worker order after the join, so
+    [--jobs N --stats] reports true parallel behaviour with per-domain
+    attribution. *)
 
 type algorithm = Short_path | Path_based
 

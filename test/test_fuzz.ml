@@ -163,6 +163,15 @@ let test_repro_blif_parses () =
   in
   check "header names the oracle" true
     (String.length text > 0 && text.[0] = '#' && contains text "spcf-equal");
+  (* The header pins the environment knobs the failure was found under;
+     with none of them set, every knob reads "unset". *)
+  check "header records the environment" true (contains text "# env: EMASK_JOBS=");
+  List.iter
+    (fun v -> check (v ^ " pinned in header") true (contains text v))
+    [
+      "EMASK_JOBS"; "EMASK_BUDGET_TIMEOUT"; "EMASK_BUDGET_MAX_NODES";
+      "EMASK_BUDGET_MAX_OPS"; "EMASK_OBS";
+    ];
   let reparsed = Blif.parse text in
   check "repro text parses back to an equivalent network" true
     (Network.equivalent (Fuzz.Gen.network spec) reparsed)

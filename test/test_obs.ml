@@ -189,6 +189,244 @@ let test_json_snapshot () =
       (Obs_json.member "name" span = Some (Obs_json.String "snap.span"))
   | _ -> Alcotest.fail "expected exactly one top-level span"
 
+(* --- domains: concurrent collection and deterministic merge ------------ *)
+
+(* Four domains hammer counters, histograms and spans concurrently on
+   their own domain-local state; the main domain merges the snapshots
+   and must see exactly the sequential sum — no lost updates, no
+   cross-domain interference, max-merge for high-water counters. *)
+let test_domains_merge () =
+  with_obs_enabled @@ fun () ->
+  let iters = 10_000 in
+  let work j () =
+    let c = Obs.counter "dom.hits" in
+    let m = Obs.counter "dom.peak" in
+    let h = Obs.histogram "dom.sizes" in
+    Obs.with_span "dom.work" (fun () ->
+        for i = 1 to iters do
+          Obs.incr c;
+          Obs.observe h (i land 15)
+        done;
+        Obs.record_max m ((j + 1) * 100));
+    Obs.export_snapshot ()
+  in
+  let domains = Array.init 4 (fun j -> Domain.spawn (work j)) in
+  let snaps = Array.map Domain.join domains in
+  Array.iteri
+    (fun j s -> Obs.merge_snapshot ~label:(Printf.sprintf "worker %d" (j + 1)) s)
+    snaps;
+  let value name =
+    match List.assoc_opt name (Obs.registered_counters ()) with
+    | Some v -> v
+    | None -> Alcotest.failf "counter %S not merged" name
+  in
+  Alcotest.(check int) "counter sums across domains" (4 * iters) (value "dom.hits");
+  Alcotest.(check int) "high-water merges by max" 400 (value "dom.peak");
+  let st =
+    match List.assoc_opt "dom.sizes" (Obs.registered_histograms ()) with
+    | Some st -> st
+    | None -> Alcotest.fail "histogram not merged"
+  in
+  Alcotest.(check int) "histogram n sums" (4 * iters) st.Obs.hn;
+  Alcotest.(check int) "histogram max" 15 st.Obs.hmax;
+  let span = get_child (Obs.root ()) "dom.work" in
+  Alcotest.(check int) "span calls sum" 4 span.Obs.calls;
+  Alcotest.(check int)
+    "one thread label per domain plus main" 5
+    (List.length (Obs.thread_labels ()));
+  Alcotest.(check int)
+    "per-domain breakdown retained" 4
+    (List.length (Obs.domain_breakdown ()))
+
+(* Merging into an open span grafts the worker trees under it — the
+   shape a parallel driver produces when workers run inside a timed
+   region of the coordinator. *)
+let test_merge_grafts_under_open_span () =
+  with_obs_enabled @@ fun () ->
+  Obs.with_span "parent" (fun () ->
+      let d =
+        Domain.spawn (fun () ->
+            Obs.with_span "child" (fun () -> ());
+            Obs.export_snapshot ())
+      in
+      Obs.merge_snapshot (Domain.join d));
+  let parent = get_child (Obs.root ()) "parent" in
+  Alcotest.(check bool)
+    "worker span grafted under the open span" true
+    (find_child parent "child" <> None)
+
+(* --- forced registration (budgets, ladder) ------------------------------ *)
+
+let test_touch_registers_zero () =
+  with_obs_enabled @@ fun () ->
+  let c = Obs.counter "touch.c" in
+  let h = Obs.histogram "touch.h" in
+  Obs.touch_counter c;
+  Obs.touch_histogram h;
+  Alcotest.(check (list (pair string int)))
+    "touched counter registered at zero"
+    [ ("touch.c", 0) ]
+    (Obs.registered_counters ());
+  Alcotest.(check int)
+    "touched histogram registered empty" 1
+    (List.length (Obs.registered_histograms ()))
+
+(* "Budgets on, no walls hit" must be visible: instantiating a real
+   budget registers every budget.* counter at zero even if nothing is
+   ever exceeded. *)
+let test_budget_instantiation_registers () =
+  with_obs_enabled @@ fun () ->
+  ignore (Budget.create ~max_ops:1_000_000 ());
+  let counters = Obs.registered_counters () in
+  List.iter
+    (fun name ->
+      Alcotest.(check (option int))
+        (name ^ " registered at zero")
+        (Some 0)
+        (List.assoc_opt name counters))
+    [
+      "budget.exceeded"; "budget.exceeded.deadline"; "budget.exceeded.nodes";
+      "budget.exceeded.ops"; "budget.exceeded.cancelled";
+    ]
+
+let test_unlimited_budget_registers_nothing () =
+  with_obs_enabled @@ fun () ->
+  ignore (Budget.create ());
+  Alcotest.(check (list (pair string int)))
+    "no-limits budget stays silent" []
+    (Obs.registered_counters ())
+
+(* --- trace export ------------------------------------------------------- *)
+
+let with_trace_enabled f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Obs.set_trace_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_trace_enabled false;
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let test_trace_events_and_json () =
+  with_trace_enabled @@ fun () ->
+  Obs.with_span "work" (fun () ->
+      spin 0.001;
+      Obs.instant "marker");
+  let events = Obs.trace_events () in
+  Alcotest.(check int) "one complete + one instant" 2 (List.length events);
+  let j = Obs_trace.render () in
+  (match Obs_json.of_string (Obs_json.to_string j) with
+  | Error e -> Alcotest.failf "trace is not valid JSON: %s" e
+  | Ok _ -> ());
+  match Obs_json.member "traceEvents" j with
+  | Some (Obs_json.List evs) ->
+    let ph e =
+      match Obs_json.member "ph" e with Some (Obs_json.String s) -> s | _ -> "?"
+    in
+    let xs = List.filter (fun e -> ph e = "X") evs in
+    let is = List.filter (fun e -> ph e = "i") evs in
+    let ms = List.filter (fun e -> ph e = "M") evs in
+    Alcotest.(check int) "one X event" 1 (List.length xs);
+    Alcotest.(check int) "one instant event" 1 (List.length is);
+    Alcotest.(check bool) "metadata present" true (List.length ms >= 2);
+    let x = List.hd xs in
+    Alcotest.(check bool)
+      "X event has a positive duration" true
+      (match Obs_json.member "dur" x with
+      | Some (Obs_json.Float d) -> d >= 1000.
+      | _ -> false);
+    Alcotest.(check bool)
+      "X event named after the span" true
+      (Obs_json.member "name" x = Some (Obs_json.String "work"))
+  | _ -> Alcotest.fail "no traceEvents list"
+
+let test_trace_disabled_keeps_no_events () =
+  with_obs_enabled @@ fun () ->
+  Obs.with_span "quiet" (fun () -> Obs.instant "nope");
+  Alcotest.(check int)
+    "statistics without tracing records no events" 0
+    (List.length (Obs.trace_events ()))
+
+(* --- Prometheus export -------------------------------------------------- *)
+
+let contains_line text line =
+  String.split_on_char '\n' text |> List.exists (fun l -> l = line)
+
+let test_prom_render () =
+  with_obs_enabled @@ fun () ->
+  let c = Obs.counter "prom.calls" in
+  Obs.add c 42;
+  let h = Obs.histogram "prom.depth" in
+  List.iter (Obs.observe h) [ 0; 1; 1; 3; 9 ];
+  Obs.with_span "outer" (fun () -> Obs.with_span "inner" (fun () -> ()));
+  let text = Obs_prom.render () in
+  Alcotest.(check bool)
+    "counter exposed" true
+    (contains_line text "emask_prom_calls 42");
+  (* Log2 buckets {0}:1, [1,2):2, [2,4):1, [8,16):1 — cumulative at the
+     exact integer upper bounds. *)
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) ("bucket line: " ^ line) true (contains_line text line))
+    [
+      "emask_prom_depth_bucket{le=\"0\"} 1";
+      "emask_prom_depth_bucket{le=\"1\"} 3";
+      "emask_prom_depth_bucket{le=\"3\"} 4";
+      "emask_prom_depth_bucket{le=\"15\"} 5";
+      "emask_prom_depth_bucket{le=\"+Inf\"} 5";
+      "emask_prom_depth_sum 14";
+      "emask_prom_depth_count 5";
+      "emask_span_calls{span=\"outer\"} 1";
+      "emask_span_calls{span=\"outer/inner\"} 1";
+    ]
+
+(* --- run ledger --------------------------------------------------------- *)
+
+let test_ledger_iso8601 () =
+  Alcotest.(check string)
+    "epoch zero" "1970-01-01T00:00:00Z" (Obs_ledger.iso8601 0.);
+  Alcotest.(check string)
+    "leap-year date" "2000-02-29T12:00:00Z"
+    (Obs_ledger.iso8601 951_825_600.);
+  Alcotest.(check string)
+    "recent date" "2026-08-09T00:00:00Z" (Obs_ledger.iso8601 1_786_233_600.)
+
+let test_ledger_roundtrip () =
+  with_obs_enabled @@ fun () ->
+  let c = Obs.counter "ledger.c" in
+  Obs.add c 7;
+  Obs_ledger.note "circuit" (Obs_json.String "C432");
+  Obs_ledger.note "jobs" (Obs_json.Int 4);
+  Obs_ledger.note "jobs" (Obs_json.Int 8);
+  let path = Filename.temp_file "emask-ledger" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs_ledger.append ~path ~cmd:"test" ();
+  Obs_ledger.note "circuit" (Obs_json.String "i1");
+  Obs_ledger.append ~path ~cmd:"test2" ();
+  match Obs_ledger.read_file path with
+  | Error e -> Alcotest.failf "read_file: %s" e
+  | Ok [ r1; r2 ] ->
+    Alcotest.(check bool)
+      "cmd recorded" true
+      (Obs_json.member "cmd" r1 = Some (Obs_json.String "test"));
+    Alcotest.(check bool)
+      "last note wins" true
+      (Obs_json.member "jobs" r1 = Some (Obs_json.Int 8));
+    Alcotest.(check bool)
+      "counters embedded" true
+      (match Obs_json.member "counters" r1 with
+      | Some cs -> Obs_json.member "ledger.c" cs = Some (Obs_json.Int 7)
+      | None -> false);
+    Alcotest.(check bool)
+      "notes cleared between records" true
+      (Obs_json.member "jobs" r2 = None);
+    Alcotest.(check bool)
+      "second record keeps its own notes" true
+      (Obs_json.member "circuit" r2 = Some (Obs_json.String "i1"))
+  | Ok rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs)
+
 (* --- integration -------------------------------------------------------- *)
 
 let test_spcf_records_bdd_activity () =
@@ -243,6 +481,36 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "floats" `Quick test_json_floats;
           Alcotest.test_case "snapshot" `Quick test_json_snapshot;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "4-domain hammer merges to sequential sum" `Quick
+            test_domains_merge;
+          Alcotest.test_case "merge grafts under the open span" `Quick
+            test_merge_grafts_under_open_span;
+        ] );
+      ( "registration",
+        [
+          Alcotest.test_case "touch registers at zero" `Quick
+            test_touch_registers_zero;
+          Alcotest.test_case "budget instantiation registers budget.*" `Quick
+            test_budget_instantiation_registers;
+          Alcotest.test_case "unlimited budget registers nothing" `Quick
+            test_unlimited_budget_registers_nothing;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "events and trace-event JSON" `Quick
+            test_trace_events_and_json;
+          Alcotest.test_case "stats without tracing keeps no events" `Quick
+            test_trace_disabled_keeps_no_events;
+        ] );
+      ( "prometheus",
+        [ Alcotest.test_case "text exposition" `Quick test_prom_render ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "iso8601" `Quick test_ledger_iso8601;
+          Alcotest.test_case "append/read round-trip" `Quick test_ledger_roundtrip;
         ] );
       ( "integration",
         [

@@ -133,16 +133,109 @@ let test_synthesis_determinism () =
         r4.Masking.Verify.coverage_pct)
     circuits
 
-(* Obs collection forces the sequential path (the registry is global);
-   the jobs knob must not change results there either. *)
-let test_obs_forces_sequential () =
+(* ---------- Observability composes with parallelism ---------- *)
+
+let c_late_calls = Obs.counter "spcf.lateness.calls"
+let c_late_memo = Obs.counter "spcf.lateness.memo_hits"
+
+let with_obs_collect f =
   Obs.set_enabled true;
   Obs.reset ();
-  let c1, r1 = run_spcf `Short 1 "i1" in
-  let c4, r4 = run_spcf `Short 4 "i1" in
-  Obs.reset ();
-  Obs.set_enabled false;
-  same_result (c1, r1) (c4, r4)
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.set_enabled false)
+    f
+
+(* Obs collection no longer forces the sequential path: with collection
+   enabled, worker snapshots merge into the main registry and the jobs
+   knob still must not change results. *)
+let test_obs_parallel_results () =
+  with_obs_collect (fun () ->
+      let c1, r1 = run_spcf `Short 1 "i1" in
+      let c4, r4 = run_spcf `Short 4 "i1" in
+      same_result (c1, r1) (c4, r4))
+
+(* The path-based algorithm uses a fresh lateness memo per output, so
+   its counters partition exactly over any round-robin assignment: the
+   merged totals under k workers must equal the sequential totals. *)
+let test_obs_merged_counters () =
+  List.iter
+    (fun name ->
+      let totals jobs =
+        with_obs_collect (fun () ->
+            ignore (run_spcf `Path jobs name);
+            (Obs.counter_value c_late_calls, Obs.counter_value c_late_memo))
+      in
+      let calls1, memo1 = totals 1 in
+      check "sequential run recorded lateness calls" true (calls1 > 0);
+      List.iter
+        (fun jobs ->
+          let calls_k, memo_k = totals jobs in
+          check_int
+            (Printf.sprintf "%s lateness.calls jobs=%d" name jobs)
+            calls1 calls_k;
+          check_int
+            (Printf.sprintf "%s lateness.memo_hits jobs=%d" name jobs)
+            memo1 memo_k)
+        [ 2; 4; 8 ])
+    circuits
+
+(* Worker snapshots land with per-domain attribution: a parallel run
+   must register at least one "worker N" breakdown entry whose counters
+   sum (with main's share) to the merged registry totals. *)
+let test_obs_domain_breakdown () =
+  with_obs_collect (fun () ->
+      ignore (run_spcf `Path 4 "x2");
+      let breakdown = Obs.domain_breakdown () in
+      check "has worker entries" true (List.length breakdown >= 1);
+      List.iter
+        (fun (label, _) ->
+          check (label ^ " labelled as worker") true
+            (String.length label >= 6 && String.sub label 0 6 = "worker"))
+        breakdown;
+      let workers_total =
+        List.fold_left
+          (fun acc (_, counters) ->
+            acc
+            + Option.value ~default:0
+                (List.assoc_opt "spcf.lateness.calls" counters))
+          0 breakdown
+      in
+      (* Every lateness call happens inside a worker domain, so the
+         attribution must account for the full merged total. *)
+      check_int "breakdown accounts for all lateness calls"
+        (Obs.counter_value c_late_calls)
+        workers_total)
+
+(* The exported SPCF DAGs are a canonical, manager-independent encoding
+   (postorder over the ROBDD): for a fixed circuit they must be
+   byte-identical across every worker count, with collection enabled. *)
+let dag_bytes (ctx, (r : Spcf.Ctx.result)) =
+  r.Spcf.Ctx.outputs
+  |> List.map (fun (n, _, sigma) ->
+         let vars, lows, highs, root =
+           Spcf.Parallel.export ctx.Spcf.Ctx.man sigma
+         in
+         let pp a =
+           String.concat "," (List.map string_of_int (Array.to_list a))
+         in
+         Printf.sprintf "%s[%s;%s;%s;%d]" n (pp vars) (pp lows) (pp highs) root)
+  |> String.concat "|"
+
+let test_obs_dag_identical () =
+  with_obs_collect (fun () ->
+      List.iter
+        (fun name ->
+          let base = dag_bytes (run_spcf `Short 1 name) in
+          List.iter
+            (fun jobs ->
+              check_str
+                (Printf.sprintf "%s exported DAG jobs=%d" name jobs)
+                base
+                (dag_bytes (run_spcf `Short jobs name)))
+            [ 2; 4; 8 ])
+        circuits)
 
 (* Deterministic QCheck seeding (no wall-clock self-init): the state
    comes from Fuzz.Rng.qcheck_state, overridable via QCHECK_SEED. *)
@@ -162,7 +255,16 @@ let () =
             (test_spcf_determinism `Path);
           Alcotest.test_case "synthesis jobs=4 = jobs=1" `Quick
             test_synthesis_determinism;
-          Alcotest.test_case "obs forces sequential" `Quick
-            test_obs_forces_sequential;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "obs-enabled parallel results" `Quick
+            test_obs_parallel_results;
+          Alcotest.test_case "merged counters = sequential totals" `Quick
+            test_obs_merged_counters;
+          Alcotest.test_case "per-domain attribution" `Quick
+            test_obs_domain_breakdown;
+          Alcotest.test_case "exported DAGs byte-identical, jobs in {1,2,4,8}"
+            `Quick test_obs_dag_identical;
         ] );
     ]
