@@ -91,14 +91,15 @@ let pos_float_conv what =
 let jobs_arg =
   let doc =
     "Worker domains for the per-output SPCF fan-out (default: \\$(b,EMASK_JOBS), \
-     else 1 = sequential). Results are identical for every N; only runtime changes."
+     else the recommended domain count, capped at 8). Results are identical for \
+     every N; only runtime changes."
   in
   Arg.(
     value
     & opt (some (pos_int_conv "--jobs")) None
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
-let resolve_jobs = function Some n -> n | None -> Spcf.Parallel.default_jobs ()
+let resolve_jobs = function Some n -> n | None -> Spcf.Parallel.auto_jobs ()
 
 (* --- resource budgets --------------------------------------------------- *)
 

@@ -150,13 +150,14 @@ let flag_value flag =
 let stats_json_path () = flag_value "--stats-json"
 let trace_path () = flag_value "--trace"
 
-(* `--jobs N` (default: EMASK_JOBS, else 1) fans the short-path and
+(* `--jobs N` (default: EMASK_JOBS, else the
+   recommended domain count capped at 8) fans the short-path and
    path-based SPCF computations out over N domains; counts are
    unaffected (see Spcf.Parallel), only runtimes change. A malformed
    or non-positive N is an argument error, not a silent fallback. *)
 let jobs_arg () =
   let rec scan i =
-    if i >= Array.length Sys.argv then Spcf.Parallel.default_jobs ()
+    if i >= Array.length Sys.argv then Spcf.Parallel.auto_jobs ()
     else if Sys.argv.(i) = "--jobs" && i + 1 < Array.length Sys.argv then
       match int_of_string_opt Sys.argv.(i + 1) with
       | Some n when n >= 1 -> n

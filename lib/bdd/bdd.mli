@@ -12,6 +12,18 @@ val create : ?cache_bits:int -> nvars:int -> unit -> man
     and disables its growth — useful for stress-testing eviction; the
     default is an adaptive cache that tracks the unique table. *)
 
+val create_shared : ?cache_bits:int -> nvars:int -> unit -> man
+(** A manager whose unique table several domains may grow concurrently:
+    handles are stable once returned, equal triples intern to equal
+    handles across domains, and every operation of this interface is
+    safe to call from any domain. The ite computed cache is per-domain
+    ([Domain.DLS]): it starts at 2^12 entries and doubles with use up
+    to [2^cache_bits] (default 2^16), so freshly spawned worker
+    domains pay no up-front megabyte allocation. Single-domain use is
+    supported but slower than [create]; see DESIGN.md §13. *)
+
+val is_shared : man -> bool
+
 val nvars : man -> int
 val num_nodes : man -> int
 (** Total nodes allocated in the manager (a growth diagnostic). *)
@@ -57,6 +69,19 @@ val band_list : man -> t list -> t
 val bor_list : man -> t list -> t
 
 val eval : man -> t -> bool array -> bool
+
+val eval_vec : man -> t -> int array -> int
+(** Bit-parallel evaluation: word [i] of the argument packs variable
+    [i] across up to 62 patterns, one per bit; the result packs the
+    function across the same patterns (one memoized DAG walk instead
+    of a per-pattern descent). Bits above the patterns supplied are
+    unspecified — mask the result. *)
+
+val iter_nodes : man -> (t -> int -> t -> t -> unit) -> unit
+(** [iter_nodes man f] calls [f handle var low high] for every interned
+    (non-terminal) node, in handle order. On a shared manager this is
+    meaningful only at quiescence (no concurrent inserts). *)
+
 val size : man -> t -> int
 (** Nodes reachable from the root, terminals included. *)
 

@@ -153,9 +153,26 @@ let max_nodes t = t.node_quota
 let check_nodes t n =
   if t != unlimited && n > t.node_quota then exceed Nodes
 
+(* An explicit cancellation/deadline checkpoint for coarse work-unit
+   boundaries (one SPCF output, one fuzz specimen): unlike [tick] it is
+   not amortized, so a worker observes a team-mate's cancel before
+   starting its next unit even when its own op counter is cold. *)
+let poll t =
+  if t != unlimited then begin
+    if Atomic.get t.cancel_flag then exceed Cancelled;
+    if Obs.now () > t.deadline then exceed Deadline
+  end
+
 (* Amortized polling: cancellation every 256 ticks, the clock every
    1024 — cheap enough for the ite hot path, responsive enough that a
-   deadline or a cancel is observed within microseconds of real work. *)
+   deadline or a cancel is observed within microseconds of real work.
+
+   When several domains share one budget (the shared-manager parallel
+   path), [ops] is updated with plain read-modify-writes: increments
+   lost to races make the op counter approximate (an underestimate),
+   which is accepted — op quotas are advisory walls, the counter stays
+   memory-safe, and the exact walls (node quota via the manager's
+   atomic node counter, cancellation, deadline) are unaffected. *)
 let tick t =
   if t != unlimited then begin
     let ops = t.ops + 1 in

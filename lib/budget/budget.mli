@@ -93,3 +93,8 @@ val tick : t -> unit
     hit; polls cancellation and the deadline on an amortized schedule
     (every 256 / 1024 ticks) so the hot path stays a couple of integer
     tests. [tick unlimited] is free. *)
+
+val poll : t -> unit
+(** Un-amortized checkpoint: raise [Budget_exceeded] immediately on
+    cancellation or a passed deadline. For coarse work-unit boundaries
+    (one SPCF output per iteration); [poll unlimited] is free. *)

@@ -30,6 +30,16 @@ let spcf_equal ~rng:_ ~budget net =
     let mc = Mapper.map net in
     let ctx = Spcf.Ctx.create ~budget mc in
     let man = ctx.Spcf.Ctx.man in
+    (* EMASK_FUZZ_SHARED=1 adds a fifth implementation to the
+       cross-check: short-path at jobs=4 over the concurrent
+       shared-manager backend. Its Σs live in a different manager, so
+       the comparison is the canonical exported DAG (postorder over the
+       ROBDD), which must be byte-identical to the sequential one. *)
+    let shared_ctx =
+      match Sys.getenv_opt "EMASK_FUZZ_SHARED" with
+      | None | Some "" | Some "0" -> None
+      | Some _ -> Some (Spcf.Ctx.create ~budget ~shared:true mc)
+    in
     let check_theta theta =
       let target = Spcf.Ctx.target_of_theta ctx theta in
       let short = Spcf.Exact.short_path ctx ~target in
@@ -75,12 +85,40 @@ let spcf_equal ~rng:_ ~budget net =
             failf "theta=%.3f: node-based union is not a superset" theta
           | None -> Pass
       in
+      let against_shared () =
+        match shared_ctx with
+        | None -> Pass
+        | Some sctx ->
+          let r =
+            Spcf.Parallel.short_path ~jobs:4 sctx
+              ~target:(Spcf.Ctx.target_of_theta sctx theta)
+          in
+          if names short <> names r then
+            failf "theta=%.3f: critical outputs differ (short=[%s] shared=[%s])"
+              theta (names short) (names r)
+          else begin
+            let mismatch =
+              List.find_opt
+                (fun ((_, _, a), (_, _, b)) ->
+                  Spcf.Parallel.export man a
+                  <> Spcf.Parallel.export sctx.Spcf.Ctx.man b)
+                (List.combine short.Spcf.Ctx.outputs r.Spcf.Ctx.outputs)
+            in
+            match mismatch with
+            | Some ((o, _, _), _) ->
+              failf
+                "theta=%.3f: SPCF of %s differs between short-path and shared jobs=4"
+                theta o
+            | None -> Pass
+          end
+      in
       List.fold_left
         (fun acc r -> match acc with Pass -> r () | other -> other)
         Pass
         [
           (fun () -> against "path-based" path);
           (fun () -> against "parallel" par);
+          (fun () -> against_shared ());
           superset;
         ]
     in
@@ -91,7 +129,12 @@ let spcf_equal ~rng:_ ~budget net =
 
 (* Global BDDs vs bit-parallel simulation vs scalar evaluation,
    exhaustive over the input space (specimens have at most 8 inputs;
-   12 is the hard cap). *)
+   12 is the hard cap). Both heavy sides run word-parallel: Bitsim packs
+   62 patterns per word, and the BDD side answers the same 62-pattern
+   block with one memoized DAG walk per signal ([Bdd.eval_vec]). The
+   scalar [Network.eval] reference then cross-checks every pattern when
+   the space is small, one pattern per block otherwise — the word
+   comparison has already pinned bitsim = bdd on all of them. *)
 let bdd_vs_sim ~rng:_ ~budget net =
   let n = Array.length (Network.inputs net) in
   if n > 12 then Skip "too many inputs for exhaustive comparison"
@@ -105,6 +148,8 @@ let bdd_vs_sim ~rng:_ ~budget net =
     while !result = Pass && !base < npat do
       let lo = !base in
       let cnt = min 62 (npat - lo) in
+      (* cnt = 62 wraps 1 lsl 62 to min_int; minus 1 is exactly 62 ones. *)
+      let mask = (1 lsl cnt) - 1 in
       let pi_words =
         Array.init n (fun v ->
             let w = ref 0 in
@@ -114,20 +159,36 @@ let bdd_vs_sim ~rng:_ ~budget net =
             !w)
       in
       let words = Bitsim.eval_word sim pi_words in
-      for b = 0 to cnt - 1 do
+      let report s b =
+        let env = Array.init n (fun v -> (lo + b) lsr v land 1 = 1) in
+        failf "signal %s pattern %d: eval=%b bitsim=%b bdd=%b"
+          (Network.name_of net s) (lo + b)
+          (Network.eval net env).(s)
+          (words.(s) lsr b land 1 = 1)
+          (Bdd.eval man funcs.(s) env)
+      in
+      (* Word-parallel: all 62 patterns of every signal at once. *)
+      for s = 0 to nsig - 1 do
+        if !result = Pass then begin
+          let diff = (Bdd.eval_vec man funcs.(s) pi_words lxor words.(s)) land mask in
+          if diff <> 0 then begin
+            let b = ref 0 in
+            while diff lsr !b land 1 = 0 do
+              incr b
+            done;
+            result := report s !b
+          end
+        end
+      done;
+      (* Scalar reference cross-check. *)
+      let scalar_checks = if !result = Pass then if n <= 8 then cnt else 1 else 0 in
+      for b = 0 to scalar_checks - 1 do
         if !result = Pass then begin
           let env = Array.init n (fun v -> (lo + b) lsr v land 1 = 1) in
           let vals = Network.eval net env in
           for s = 0 to nsig - 1 do
-            if !result = Pass then begin
-              let from_sim = words.(s) lsr b land 1 = 1 in
-              let from_eval = vals.(s) in
-              let from_bdd = Bdd.eval man funcs.(s) env in
-              if from_sim <> from_eval || from_bdd <> from_eval then
-                result :=
-                  failf "signal %s pattern %d: eval=%b bitsim=%b bdd=%b"
-                    (Network.name_of net s) (lo + b) from_eval from_sim from_bdd
-            end
+            if !result = Pass && (words.(s) lsr b land 1 = 1) <> vals.(s) then
+              result := report s b
           done
         end
       done;
@@ -312,7 +373,9 @@ let all =
     };
     {
       name = "bdd-sim";
-      describe = "global BDDs vs bit-parallel simulation vs evaluation, exhaustive";
+      describe =
+        "word-parallel BDD evaluation vs bit-parallel simulation vs scalar \
+         evaluation, exhaustive";
       check = bdd_vs_sim;
     };
     {

@@ -80,6 +80,10 @@ type t = {
       (* budget walls hit by the tiers that did not complete *)
 }
 
+(* The resolved SPCF worker-domain count for a run. *)
+let jobs_of options =
+  if options.jobs >= 1 then options.jobs else Spcf.Parallel.default_jobs ()
+
 (* The SPCF engine for a ladder tier: the requested algorithm at tier 1,
    node-based at tier 2, Σ := 1 at tier 3 ([options.algorithm] is kept
    as requested in the result — the tier records what actually ran). *)
@@ -92,9 +96,7 @@ let run_algorithm options ctx ~target ~tier =
       | Spcf.Governed.Node_fallback -> Node_based
       | _ -> options.algorithm
     in
-    let jobs =
-      if options.jobs >= 1 then options.jobs else Spcf.Parallel.default_jobs ()
-    in
+    let jobs = jobs_of options in
     match algorithm with
     | Short_path -> Spcf.Parallel.short_path ~jobs ctx ~target
     | Path_based -> Spcf.Parallel.path_based ~jobs ctx ~target
@@ -156,7 +158,15 @@ let synthesize_body options ~budget ~tier ~attempts net =
     Obs.with_span "map" (fun () ->
         Mapper.map_with_signals ~style:options.map_style net)
   in
-  let ctx = Spcf.Ctx.create ~model:options.delay_model ~budget original in
+  (* A multi-job Exact-tier run gets the shared-manager context so
+     SPCF workers grow one DAG; the synthesis passes after the SPCF
+     run back on the main domain use the same manager either way. *)
+  let shared =
+    jobs_of options > 1
+    && (match tier with Spcf.Governed.Exact -> true | _ -> false)
+    && options.algorithm <> Node_based
+  in
+  let ctx = Spcf.Ctx.create ~model:options.delay_model ~budget ~shared original in
   let delta = Spcf.Ctx.delta ctx in
   let target = options.theta *. delta in
   let spcf = run_algorithm options ctx ~target ~tier in

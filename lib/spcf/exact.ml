@@ -167,6 +167,11 @@ let sigmas ctx ~opts ~outputs ~target_units =
   let memo = Hashtbl.create 4096 in
   Array.to_list outputs
   |> List.map (fun (name, y) ->
+         (* Un-amortized checkpoint at each output boundary: a worker
+            whose team-mate cancelled (or whose deadline passed) stops
+            before starting the next cone even if its own op counter
+            is cold. *)
+         Budget.poll ctx.Ctx.budget;
          if not opts.share_across_outputs then Hashtbl.reset memo;
          let sigma =
            Obs.with_span ("output:" ^ name) (fun () ->
@@ -194,6 +199,7 @@ let short_path ctx ~target =
 let sigmas_lateness ctx ~outputs ~target_units =
   Array.to_list outputs
   |> List.map (fun (name, y) ->
+         Budget.poll ctx.Ctx.budget;
          let memo = Hashtbl.create 4096 in
          let sigma =
            Obs.with_span ("output:" ^ name) (fun () ->

@@ -67,7 +67,13 @@ type outcome = {
 }
 
 let run_tier ?jobs ~model ~budget ~theta algorithm circuit =
-  let ctx = Ctx.create ~model ~budget circuit in
+  (* A multi-job run of an Exact tier gets the shared-manager context,
+     so workers grow one DAG instead of rebuilding private managers;
+     Node_based is single-pass sequential and keeps the plain backend. *)
+  let shared =
+    (match jobs with Some j -> j > 1 | None -> false) && algorithm <> Node_based
+  in
+  let ctx = Ctx.create ~model ~budget ~shared circuit in
   let target = Ctx.target_of_theta ctx theta in
   let result =
     match algorithm with
@@ -95,6 +101,11 @@ let floor_tier ~model ~theta ~attempts circuit =
 
 let compute ?jobs ?(model = Sta.Library) ?(spec = Budget.no_limits) ~algorithm ~theta
     circuit =
+  (* Resolve the job count once, up front: the context backend (shared
+     vs sequential manager) depends on it. *)
+  let jobs =
+    Some (match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ())
+  in
   if Budget.is_no_limits spec then
     (* Ungoverned: exactly the plain computation, bit for bit. *)
     finish ~tier:Exact ~attempts:[]

@@ -2,26 +2,45 @@
 
    The per-output SPCFs Σ_y are independent: each one is a function of
    the (immutable) mapped circuit, the delay model and the target only.
-   The BDD manager is the single piece of shared mutable state in the
-   sequential algorithms — so each worker domain gets its *own* manager
-   by building a private [Ctx.t] from the shared circuit, computes the
-   Σ_y of its assigned outputs there, and ships each result back as a
-   plain-integer DAG. The main domain re-imports every Σ_y into the
-   caller's manager in critical-output order, so the merged result is
-   deterministic and — because ROBDDs are canonical — the imported
-   functions are exactly the ones the sequential algorithm produces.
-   [jobs = 1] (the default) bypasses all of this and runs the sequential
-   algorithm unchanged, keeping single-job runs bit-for-bit identical to
-   the pre-parallel code path.
+   Two execution modes cover the two manager backends:
+
+   - Shared-manager mode (the fast path, used when the context was
+     built with [~shared:true]): all workers compute directly in the
+     one concurrent BDD manager and return node handles. Subgraphs
+     common to several output cones — exactly the reconvergent logic
+     that makes table1 circuits expensive — are interned once instead
+     of once per worker, and no export/import pass exists at all.
+
+   - Private-manager mode (the compatibility path, and the ECO
+     persistence format): each worker builds a private [Ctx.t], ships
+     each Σ_y back as a plain-integer postorder DAG, and the main
+     domain re-imports them into the caller's manager in
+     critical-output order.
+
+   Both modes produce the same function set as the sequential
+   algorithms — ROBDDs are canonical, and every consumer (satcount,
+   ISOP extraction, synthesis) is a function of the BDD semantics, not
+   of node numbering. [jobs = 1] (the default) bypasses all of this
+   and runs the sequential algorithm unchanged, keeping single-job
+   runs bit-for-bit identical to the pre-parallel code path.
 
    Observability composes with parallelism: each worker domain gets its
    own domain-local Obs collectors for free (Domain.DLS), exports a
    snapshot as its last act, and the main domain merges the snapshots in
    worker order after the join — so `--jobs N --stats` reports true
-   parallel behaviour with per-domain attribution, and counter totals
-   are deterministic for a fixed (circuit, jobs) pair. *)
+   parallel behaviour with per-domain attribution. *)
 
 type algorithm = Short_path | Path_based
+
+let parse_jobs raw =
+  let s = String.trim raw in
+  if s = "" then None
+  else
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None ->
+      invalid_arg
+        (Printf.sprintf "EMASK_JOBS: expected a positive integer, got %S" raw)
 
 (* The default job count: EMASK_JOBS, else 1 — parallelism is opt-in so
    every seeded workflow stays on the sequential (identical) path. A
@@ -31,15 +50,20 @@ type algorithm = Short_path | Path_based
 let default_jobs () =
   match Sys.getenv_opt "EMASK_JOBS" with
   | None -> 1
+  | Some raw -> ( match parse_jobs raw with None -> 1 | Some n -> n)
+
+(* Hardware-default job count for the CLI entry points that opt into
+   parallelism (emask spcf/protect, table1/table2): EMASK_JOBS still
+   wins when set, otherwise the recommended domain count capped at 8 —
+   SPCF fan-out is per critical output, and beyond a handful of domains
+   the stragglers dominate before memory bandwidth does. *)
+let auto_jobs ?(cap = 8) () =
+  match Sys.getenv_opt "EMASK_JOBS" with
+  | None -> max 1 (min cap (Domain.recommended_domain_count ()))
   | Some raw -> (
-    let s = String.trim raw in
-    if s = "" then 1
-    else
-      match int_of_string_opt s with
-      | Some n when n >= 1 -> n
-      | Some _ | None ->
-        invalid_arg
-          (Printf.sprintf "EMASK_JOBS: expected a positive integer, got %S" raw))
+    match parse_jobs raw with
+    | None -> max 1 (min cap (Domain.recommended_domain_count ()))
+    | Some n -> n)
 
 (* --- cross-manager BDD transport ---------------------------------------
 
@@ -98,6 +122,105 @@ let sequential ctx ~algorithm ~target =
   | Short_path -> Exact.short_path ctx ~target
   | Path_based -> Exact.path_based ctx ~target
 
+(* Spawn [k] workers, join them, merge Obs snapshots in worker order,
+   surface the first non-Cancelled budget error if any worker ran out,
+   and hand the per-worker successes to [commit]. Each worker returns
+   the sigma list of its round-robin chunk (worker j owns critical
+   outputs j, j+k, ...). *)
+let fanout ~k ~worker ~commit =
+  let collect = Obs.on () in
+  let wrapped j () =
+    let res = worker j in
+    (* Exporting the snapshot is the worker's last act, on both the
+       success and the budget-exceeded path: partial work must still
+       be attributed. *)
+    (res, if collect then Some (Obs.export_snapshot ()) else None)
+  in
+  let domains = Array.init k (fun j -> Domain.spawn (wrapped j)) in
+  let joined = Array.map Domain.join domains in
+  (* Merge observability snapshots first, in worker order, so the
+     registry is complete and deterministic even when a budget error
+     propagates below. *)
+  Array.iteri
+    (fun j (_, snap) ->
+      match snap with
+      | Some s -> Obs.merge_snapshot ~label:(Printf.sprintf "worker %d" (j + 1)) s
+      | None -> ())
+    joined;
+  let joined = Array.map fst joined in
+  (* Every domain has joined; surface the root cause (the first
+     non-Cancelled reason) if any worker ran out. *)
+  let errors =
+    Array.to_list joined
+    |> List.filter_map (function Error r -> Some r | Ok _ -> None)
+  in
+  (match (List.find_opt (fun r -> r <> Budget.Cancelled) errors, errors) with
+  | Some r, _ | None, r :: _ -> raise (Budget.Budget_exceeded r)
+  | None, [] -> ());
+  commit (Array.map (function Ok sigs -> sigs | Error _ -> assert false) joined)
+
+(* Interleave worker results back into critical-output order: worker
+   j's p-th result is critical output j + p*k. *)
+let interleave ~n ~k per_domain =
+  let merged = Array.make n None in
+  Array.iteri
+    (fun j sigs ->
+      List.iteri (fun p (nm, y, sigma) -> merged.(j + (p * k)) <- Some (nm, y, sigma)) sigs)
+    per_domain;
+  Array.to_list merged
+  |> List.map (function Some r -> r | None -> assert false)
+
+let worker_sigmas ctx ~algorithm ~outputs ~target_units =
+  match algorithm with
+  | Short_path ->
+    Exact.sigmas ctx ~opts:Exact.proposed_options ~outputs ~target_units
+  | Path_based -> Exact.sigmas_lateness ctx ~outputs ~target_units
+
+(* Private-manager mode: worker j builds its own context, computes its
+   chunk there, and exports each Σ as a manager-independent DAG. *)
+let compute_private ctx ~algorithm ~target:_ ~critical ~k ~chunk ~target_units =
+  let circuit = ctx.Ctx.circuit and model = ctx.Ctx.model in
+  let parent_budget = ctx.Ctx.budget in
+  let worker j =
+    (* Workers share the parent's cancel flag: the first one to
+       exhaust its budget cancels the team, and the others abandon
+       their shards at the next amortized poll. *)
+    let wbudget = Budget.for_worker parent_budget in
+    match
+      let wctx = Ctx.create ~model ~budget:wbudget circuit in
+      worker_sigmas wctx ~algorithm ~outputs:(chunk j) ~target_units
+      |> List.map (fun (nm, y, sigma) -> (nm, y, export wctx.Ctx.man sigma))
+    with
+    | sigs -> Ok sigs
+    | exception Budget.Budget_exceeded r ->
+      Budget.cancel wbudget;
+      Error r
+  in
+  fanout ~k ~worker ~commit:(fun per_domain ->
+      (* Importing into the caller's manager happens only here, on the
+         main domain, in critical-output order. *)
+      let man = ctx.Ctx.man in
+      interleave ~n:(Array.length critical) ~k per_domain
+      |> List.map (fun (nm, y, dag) -> (nm, y, import man dag)))
+
+(* Shared-manager mode: every worker computes directly in the
+   caller's manager and returns node handles — no transport at all.
+   The context is made read-only for workers up front (prime cache
+   prewarmed); the manager itself is the concurrent backend. *)
+let compute_shared ctx ~algorithm ~target:_ ~critical ~k ~chunk ~target_units =
+  Ctx.prewarm_primes ctx;
+  let parent_budget = ctx.Ctx.budget in
+  let worker j =
+    match worker_sigmas ctx ~algorithm ~outputs:(chunk j) ~target_units with
+    | sigs -> Ok sigs
+    | exception Budget.Budget_exceeded r ->
+      (* All workers tick the one shared budget: cancelling it stops
+         the team at their next poll. *)
+      Budget.cancel parent_budget;
+      Error r
+  in
+  fanout ~k ~worker ~commit:(interleave ~n:(Array.length critical) ~k)
+
 let compute ?jobs ctx ~algorithm ~target =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   if jobs = 1 then sequential ctx ~algorithm ~target
@@ -115,7 +238,6 @@ let compute ?jobs ctx ~algorithm ~target =
       let outputs, runtime =
         Obs.timed ("spcf." ^ name) (fun () ->
             let target_units = Ctx.units_of_target target in
-            let circuit = ctx.Ctx.circuit and model = ctx.Ctx.model in
             (* Round-robin assignment: worker j owns critical outputs
                j, j+k, j+2k, ... — deterministic, and it interleaves
                neighbouring (often similar-sized) cones across workers. *)
@@ -123,84 +245,10 @@ let compute ?jobs ctx ~algorithm ~target =
               Array.of_list
                 (List.filteri (fun i _ -> i mod k = j) (Array.to_list critical))
             in
-            let parent_budget = ctx.Ctx.budget in
-            let collect = Obs.on () in
-            let worker j () =
-              (* Workers share the parent's cancel flag: the first one
-                 to exhaust its budget cancels the team, and the others
-                 abandon their shards at the next amortized poll. *)
-              let wbudget = Budget.for_worker parent_budget in
-              let res =
-                match
-                  let wctx = Ctx.create ~model ~budget:wbudget circuit in
-                  let sigs =
-                    match algorithm with
-                    | Short_path ->
-                      Exact.sigmas wctx ~opts:Exact.proposed_options
-                        ~outputs:(chunk j) ~target_units
-                    | Path_based ->
-                      Exact.sigmas_lateness wctx ~outputs:(chunk j) ~target_units
-                  in
-                  List.map
-                    (fun (nm, y, sigma) -> (nm, y, export wctx.Ctx.man sigma))
-                    sigs
-                with
-                | sigs -> Ok sigs
-                | exception Budget.Budget_exceeded r ->
-                  Budget.cancel wbudget;
-                  Error r
-              in
-              (* Exporting the snapshot is the worker's last act, on
-                 both the success and the budget-exceeded path: partial
-                 work must still be attributed. *)
-              (res, if collect then Some (Obs.export_snapshot ()) else None)
+            let mode =
+              if Bdd.is_shared ctx.Ctx.man then compute_shared else compute_private
             in
-            let domains = Array.init k (fun j -> Domain.spawn (worker j)) in
-            let joined = Array.map Domain.join domains in
-            (* Merge observability snapshots first, in worker order, so
-               the registry is complete and deterministic even when a
-               budget error propagates below. *)
-            Array.iteri
-              (fun j (_, snap) ->
-                match snap with
-                | Some s ->
-                  Obs.merge_snapshot ~label:(Printf.sprintf "worker %d" (j + 1)) s
-                | None -> ())
-              joined;
-            let joined = Array.map fst joined in
-            (* Every domain has joined; surface the root cause (the
-               first non-Cancelled reason) if any worker ran out. *)
-            let errors =
-              Array.to_list joined
-              |> List.filter_map (function Error r -> Some r | Ok _ -> None)
-            in
-            (match
-               ( List.find_opt (fun r -> r <> Budget.Cancelled) errors,
-                 errors )
-             with
-            | Some r, _ | None, r :: _ -> raise (Budget.Budget_exceeded r)
-            | None, [] -> ());
-            let per_domain =
-              Array.map
-                (function Ok sigs -> sigs | Error _ -> assert false)
-                joined
-            in
-            (* Merge in critical-output order: worker j's p-th result is
-               critical output j + p*k. Importing into the caller's
-               manager happens only here, on the main domain. *)
-            let man = ctx.Ctx.man in
-            let merged = Array.make n None in
-            Array.iteri
-              (fun j sigs ->
-                List.iteri
-                  (fun p (nm, y, dag) ->
-                    merged.(j + (p * k)) <- Some (nm, y, import man dag))
-                  sigs)
-              per_domain;
-            Array.to_list merged
-            |> List.map (function
-                 | Some r -> r
-                 | None -> assert false))
+            mode ctx ~algorithm ~target ~critical ~k ~chunk ~target_units)
       in
       Ctx.make_result ctx ~algorithm:name ~target outputs ~runtime
     end

@@ -1,15 +1,19 @@
 (** Domain-parallel per-output SPCF computation.
 
     The per-output SPCFs are independent given the (immutable) mapped
-    circuit; each worker domain builds a private [Ctx.t] — and thus a
-    private BDD manager — computes the Σ_y of its assigned outputs, and
-    ships them back as plain-integer DAGs. The main domain re-imports
-    them into the caller's manager in critical-output order, so results
-    are deterministic and function-identical to the sequential
-    algorithms. With [jobs = 1] (the default) the sequential code path
-    runs unchanged. Obs collection composes with parallelism: workers
-    record into domain-local collectors, and their snapshots are merged
-    into the main domain's registry in worker order after the join, so
+    circuit. On a shared-manager context ([Ctx.create ~shared:true])
+    all workers compute node handles directly in the one concurrent
+    BDD manager — common subgraphs are interned once, and no
+    export/import pass exists. On a sequential-manager context each
+    worker builds a private [Ctx.t], ships each Σ_y back as a
+    plain-integer DAG, and the main domain re-imports them in
+    critical-output order (the compatibility path, also the ECO
+    persistence format). Either way results are deterministic and
+    function-identical to the sequential algorithms. With [jobs = 1]
+    (the default) the sequential code path runs unchanged. Obs
+    collection composes with parallelism: workers record into
+    domain-local collectors, and their snapshots are merged into the
+    main domain's registry in worker order after the join, so
     [--jobs N --stats] reports true parallel behaviour with per-domain
     attribution. *)
 
@@ -19,6 +23,11 @@ val default_jobs : unit -> int
 (** [EMASK_JOBS] when set to a positive integer, else 1. A set but
     malformed or non-positive value raises [Invalid_argument] — the
     execution mode is never changed silently. *)
+
+val auto_jobs : ?cap:int -> unit -> int
+(** The hardware default for CLI entry points that opt into
+    parallelism: [EMASK_JOBS] when set, else
+    [Domain.recommended_domain_count ()] capped at [cap] (default 8). *)
 
 val compute : ?jobs:int -> Ctx.t -> algorithm:algorithm -> target:float -> Ctx.result
 (** [jobs] defaults to [default_jobs ()]. The result — outputs in
