@@ -4,6 +4,7 @@
      list      enumerate the built-in benchmark suite
      lint      static analysis: structural, timing and masking checks
      spcf      compute speed-path characteristic functions
+     paths     near-critical path sensitization verdicts + witnesses
      protect   synthesize + verify an error-masking circuit
      wearout   aging sweep with the timing simulator
      trace     trace-buffer window expansion report
@@ -59,9 +60,21 @@ let circuit_arg =
   let doc = "Benchmark name (see $(b,emask list)) or path to a BLIF file." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
 
+(* θ scales the critical-path delay into the speed-path target; a
+   value outside (0, 1] silently inverts the band, so it is an
+   argument error under the same policy as --jobs. *)
+let theta_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v > 0. && v <= 1. -> Ok v
+    | Some _ | None ->
+      Error (`Msg (Printf.sprintf "THETA must lie in (0, 1], got %S" s))
+  in
+  Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
+
 let theta_arg =
   let doc = "Target arrival factor: speed-paths within (1-THETA) of the critical path delay." in
-  Arg.(value & opt float 0.9 & info [ "theta" ] ~docv:"THETA" ~doc)
+  Arg.(value & opt theta_conv 0.9 & info [ "theta" ] ~docv:"THETA" ~doc)
 
 let algorithm_arg =
   let doc = "SPCF algorithm: short (proposed, exact), path (exact), node (over-approximate)." in
@@ -387,7 +400,7 @@ let spcf_cmd =
       const spcf_run $ obs_term $ circuit_arg $ theta_arg $ algorithm_arg $ jobs_arg
       $ budget_term)
 
-let protect_run obs spec theta jobs out bflags =
+let protect_run obs spec theta jobs prune out bflags =
   guarded @@ fun () ->
   with_obs obs "protect" @@ fun () ->
   let net = load_circuit spec in
@@ -398,6 +411,7 @@ let protect_run obs spec theta jobs out bflags =
       Masking.Synthesis.default_options with
       theta;
       jobs = resolve_jobs jobs;
+      prune_false_paths = prune;
       budget = resolve_budget bflags;
     }
   in
@@ -408,6 +422,10 @@ let protect_run obs spec theta jobs out bflags =
   let r = Masking.Verify.check m in
   Format.printf "circuit: %s@." spec;
   Format.printf "%a@." Masking.Verify.pp r;
+  (match m.Masking.Synthesis.pruned with
+  | [] -> ()
+  | pruned ->
+    Format.printf "pruned false-path outputs: %s@." (String.concat ", " pruned));
   report_synthesis_degradation m;
   (match out with
   | Some path ->
@@ -420,12 +438,191 @@ let out_arg =
   let doc = "Write the combined (protected) circuit as BLIF to $(docv)." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+let prune_arg =
+  let doc =
+    "Drop a critical output from the masking cover when every near-critical path \
+     to it is provably false and its SPCF is empty (see $(b,emask paths)); the \
+     indicator shrinks, the soundness interval is preserved and re-verified."
+  in
+  Arg.(value & flag & info [ "prune-false-paths" ] ~doc)
+
 let protect_cmd =
   Cmd.v
     (Cmd.info "protect" ~doc:"Synthesize and verify an error-masking circuit")
     Term.(
-      const protect_run $ obs_term $ circuit_arg $ theta_arg $ jobs_arg $ out_arg
-      $ budget_term)
+      const protect_run $ obs_term $ circuit_arg $ theta_arg $ jobs_arg $ prune_arg
+      $ out_arg $ budget_term)
+
+(* --- paths: sensitization analysis of the near-critical band ------------ *)
+
+let band_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v >= 0. && v <= 1. -> Ok v
+    | Some _ | None ->
+      Error (`Msg (Printf.sprintf "BAND must lie in [0, 1], got %S" s))
+  in
+  Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
+
+let band_arg =
+  let doc =
+    "Near-critical band: classify every structural path longer than \
+     (1-BAND) * Delta."
+  in
+  Arg.(value & opt band_conv 0.1 & info [ "band" ] ~docv:"F" ~doc)
+
+let max_paths_arg =
+  let doc = "Stop enumerating after $(docv) paths (the report is marked truncated)." in
+  Arg.(
+    value
+    & opt (pos_int_conv "--max-paths") 4096
+    & info [ "max-paths" ] ~docv:"N" ~doc)
+
+(* A witness pattern as "a=1 b=0 ..." over the primary-input names. *)
+let pp_witness mnet w =
+  String.concat " "
+    (Array.to_list
+       (Array.mapi
+          (fun i s ->
+            Printf.sprintf "%s=%d" (Network.name_of mnet s)
+              (if w.(i) then 1 else 0))
+          (Network.inputs mnet)))
+
+let paths_json spec mnet (report : Sensitization.report) diags =
+  let open Obs_json in
+  let path_json (c : Sensitization.classified) =
+    let p = c.Sensitization.path in
+    let base =
+      [
+        ("output", String p.Paths.output);
+        ( "signals",
+          List
+            (Array.to_list
+               (Array.map (fun s -> String (Network.name_of mnet s)) p.Paths.signals))
+        );
+        ("length", Float p.Paths.length);
+        ("verdict", String (Sensitization.verdict_name c.Sensitization.verdict));
+      ]
+    in
+    match c.Sensitization.verdict with
+    | Sensitization.True w ->
+      Obj
+        (base
+        @ [
+            ( "witness",
+              Obj
+                (Array.to_list
+                   (Array.mapi
+                      (fun i s -> (Network.name_of mnet s, Bool w.(i)))
+                      (Network.inputs mnet))) );
+          ])
+    | Sensitization.False -> Obj base
+    | Sensitization.Unknown r ->
+      Obj (base @ [ ("reason", String (Budget.reason_to_string r)) ])
+  in
+  let summary_json (s : Sensitization.summary) =
+    Obj
+      [
+        ("output", String s.Sensitization.output);
+        ("paths", Int s.Sensitization.num_paths);
+        ("true", Int s.Sensitization.num_true);
+        ("false", Int s.Sensitization.num_false);
+        ("unknown", Int s.Sensitization.num_unknown);
+        ("topological", Float s.Sensitization.topological);
+        ("functional", Float s.Sensitization.functional);
+      ]
+  in
+  let nt, nf, nu = Sensitization.counts report in
+  Obj
+    [
+      ("circuit", String spec);
+      ("delta", Float report.Sensitization.delta);
+      ("band", Float report.Sensitization.band);
+      ("target", Float report.Sensitization.target);
+      ("truncated", Bool report.Sensitization.truncated);
+      ("functional_delta", Float report.Sensitization.functional_delta);
+      ("paths", List (List.map path_json report.Sensitization.paths));
+      ("outputs", List (List.map summary_json report.Sensitization.summaries));
+      ( "verdicts",
+        Obj [ ("true", Int nt); ("false", Int nf); ("unknown", Int nu) ] );
+      ("diagnostics", List (List.map Analysis.Diag.to_json diags));
+    ]
+
+let paths_run obs spec band max_paths jobs json fail_on bflags =
+  let code =
+    guarded @@ fun () ->
+    with_obs obs "paths" @@ fun () ->
+    let jobs = resolve_jobs jobs in
+    let bspec = resolve_budget bflags in
+    let budget =
+      if Budget.is_no_limits bspec then Budget.unlimited else Budget.instantiate bspec
+    in
+    let net = load_circuit spec in
+    note_circuit spec net;
+    if Obs_ledger.enabled () then Obs_ledger.note "jobs" (Obs_json.Int jobs);
+    let mc = Obs.with_span "map" (fun () -> Mapper.map net) in
+    let mnet = Mapped.network mc in
+    let report = Sensitization.analyze ~band ~max_paths ~jobs ~budget mc in
+    let diags = Analysis.Passes.sensitization report in
+    let nt, nf, nu = Sensitization.counts report in
+    if json then
+      print_endline (Obs_json.to_string (paths_json spec mnet report diags))
+    else begin
+      Printf.printf "circuit: %s\n" spec;
+      Printf.printf "delta: %.3f  band: %.3f  target: %.3f\n"
+        report.Sensitization.delta report.Sensitization.band
+        report.Sensitization.target;
+      Printf.printf "near-critical paths: %d%s\n"
+        (List.length report.Sensitization.paths)
+        (if report.Sensitization.truncated then
+           "  (truncated: enumeration capped, missed paths unclassified)"
+         else "");
+      List.iter
+        (fun (c : Sensitization.classified) ->
+          let p = c.Sensitization.path in
+          Printf.printf "  %-8s %s: %s%s\n"
+            (Sensitization.verdict_name c.Sensitization.verdict)
+            p.Paths.output
+            (Paths.to_string mnet p)
+            (match c.Sensitization.verdict with
+            | Sensitization.True w -> "  witness " ^ pp_witness mnet w
+            | Sensitization.False -> ""
+            | Sensitization.Unknown r ->
+              "  (" ^ Budget.reason_to_string r ^ ")"))
+        report.Sensitization.paths;
+      List.iter
+        (fun (s : Sensitization.summary) ->
+          if s.Sensitization.num_paths > 0 then
+            Printf.printf
+              "output %-16s paths: %d (%d true, %d false, %d unknown)  arrival: \
+               %.3f  functional: %.3f\n"
+              s.Sensitization.output s.Sensitization.num_paths
+              s.Sensitization.num_true s.Sensitization.num_false
+              s.Sensitization.num_unknown s.Sensitization.topological
+              s.Sensitization.functional)
+        report.Sensitization.summaries;
+      Printf.printf "functional delta: %.3f  (topological %.3f)\n"
+        report.Sensitization.functional_delta report.Sensitization.delta;
+      List.iter
+        (fun d -> Printf.printf "%s\n" (Analysis.Diag.to_string d))
+        (Analysis.Diag.sort diags);
+      Printf.printf "verdicts: %d true, %d false, %d unknown\n" nt nf nu
+    end;
+    Analysis.Diag.exit_code ~fail_on diags
+  in
+  if code <> 0 then exit code
+
+let paths_cmd =
+  Cmd.v
+    (Cmd.info "paths"
+       ~doc:
+         "Enumerate the near-critical structural paths and classify each as true \
+          (sensitizable, with a SAT witness pattern), false (no input pattern \
+          sensitizes it) or unknown (budget exhausted); reports the tightened \
+          functional delay bound per output")
+    Term.(
+      const paths_run $ obs_term $ circuit_arg $ band_arg $ max_paths_arg $ jobs_arg
+      $ json_arg $ fail_on_arg $ budget_term)
 
 let wearout_run obs spec trials bflags =
   guarded @@ fun () ->
@@ -794,6 +991,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; lint_cmd; spcf_cmd; protect_cmd; wearout_cmd; trace_cmd;
-            fuzz_cmd; report_cmd;
+            list_cmd; lint_cmd; spcf_cmd; paths_cmd; protect_cmd; wearout_cmd;
+            trace_cmd; fuzz_cmd; report_cmd;
           ]))

@@ -24,10 +24,12 @@ type code =
   | Sta_delta
   | Sta_monotone
   | Sta_negative
+  | Sta_false_path
   | Mask_intrusive
   | Mask_slack
   | Mask_mux
   | Mask_coverage
+  | Mask_false_paths
 
 let code_id = function
   | Parse_error -> "BLIF001"
@@ -42,10 +44,12 @@ let code_id = function
   | Sta_delta -> "STA001"
   | Sta_monotone -> "STA002"
   | Sta_negative -> "STA003"
+  | Sta_false_path -> "STA004"
   | Mask_intrusive -> "MASK001"
   | Mask_slack -> "MASK002"
   | Mask_mux -> "MASK003"
   | Mask_coverage -> "MASK004"
+  | Mask_false_paths -> "MASK005"
 
 let code_name = function
   | Parse_error -> "parse-error"
@@ -60,16 +64,21 @@ let code_name = function
   | Sta_delta -> "sta-delta"
   | Sta_monotone -> "sta-monotone"
   | Sta_negative -> "sta-negative"
+  | Sta_false_path -> "sta-false-path"
   | Mask_intrusive -> "mask-intrusive"
   | Mask_slack -> "mask-slack"
   | Mask_mux -> "mask-mux"
   | Mask_coverage -> "mask-coverage"
+  | Mask_false_paths -> "mask-false-paths"
 
 let default_severity = function
   | Parse_error | Cycle | Undriven | Multi_driver | No_outputs -> Error
   | Unmapped_gate | Sta_delta | Sta_monotone | Sta_negative -> Error
   | Mask_intrusive | Mask_slack | Mask_mux | Mask_coverage -> Error
   | Unused_input | Dead_cone | Const_gate -> Warning
+  (* Advisory findings: a false path wastes area/timing margin but the
+     circuit and its masking remain correct. *)
+  | Sta_false_path | Mask_false_paths -> Warning
 
 let all_codes =
   [
@@ -85,11 +94,45 @@ let all_codes =
     Sta_delta;
     Sta_monotone;
     Sta_negative;
+    Sta_false_path;
     Mask_intrusive;
     Mask_slack;
     Mask_mux;
     Mask_coverage;
+    Mask_false_paths;
   ]
+
+(* The IR level a check runs at — the third column of the README
+   catalogue table (pinned by a test so docs can't drift). *)
+let code_level = function
+  | Parse_error -> "BLIF"
+  | Cycle | Undriven | Multi_driver | Unused_input | Dead_cone | Const_gate
+  | No_outputs ->
+    "Network"
+  | Unmapped_gate | Sta_delta | Sta_monotone | Sta_negative | Sta_false_path
+  | Mask_intrusive | Mask_slack | Mask_mux | Mask_coverage | Mask_false_paths ->
+    "Mapped"
+
+(* One-line meanings, also pinned into the README table. *)
+let code_meaning = function
+  | Parse_error -> "BLIF source failed to parse"
+  | Cycle -> "combinational cycle"
+  | Undriven -> "undriven signal"
+  | Multi_driver -> "multiply-driven signal"
+  | Unused_input -> "unused primary input"
+  | Dead_cone -> "logic unreachable from any primary output"
+  | Const_gate -> "constant-provable gate"
+  | No_outputs -> "network has no primary outputs"
+  | Unmapped_gate -> "internal node without a library cell"
+  | Sta_delta -> "critical-path / per-output arrival inconsistency"
+  | Sta_monotone -> "arrival-time monotonicity violation"
+  | Sta_negative -> "negative delay or arrival"
+  | Sta_false_path -> "topologically-critical output carried only by provably false paths"
+  | Mask_intrusive -> "masking circuit is intrusive (combined differs from original)"
+  | Mask_slack -> "timing-slack contract violated (< 20 % margin)"
+  | Mask_mux -> "malformed output-mux insertion"
+  | Mask_coverage -> "indicator coverage / prediction-soundness gap"
+  | Mask_false_paths -> "masking cover dominated by statically false paths"
 
 type t = {
   code : code;

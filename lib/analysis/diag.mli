@@ -16,10 +16,13 @@
     - [STA001] Δ / per-output arrival inconsistency
     - [STA002] arrival-time monotonicity violation
     - [STA003] negative delay or arrival
+    - [STA004] topologically-critical output carried only by provably
+      false paths
     - [MASK001] masking circuit is intrusive (combined ≠ original)
     - [MASK002] timing-slack contract violated (< 20 % margin)
     - [MASK003] malformed output-mux insertion
-    - [MASK004] indicator coverage / prediction-soundness gap *)
+    - [MASK004] indicator coverage / prediction-soundness gap
+    - [MASK005] masking cover dominated by statically false paths *)
 
 type severity = Info | Warning | Error
 
@@ -40,10 +43,12 @@ type code =
   | Sta_delta
   | Sta_monotone
   | Sta_negative
+  | Sta_false_path
   | Mask_intrusive
   | Mask_slack
   | Mask_mux
   | Mask_coverage
+  | Mask_false_paths
 
 val code_id : code -> string
 (** The stable identifier, e.g. ["NET001"]. *)
@@ -52,6 +57,14 @@ val code_name : code -> string
 (** A short mnemonic, e.g. ["cycle"]. *)
 
 val default_severity : code -> severity
+
+val code_level : code -> string
+(** The IR level the check runs at: ["BLIF"], ["Network"] or
+    ["Mapped"] — the third column of the README catalogue table. *)
+
+val code_meaning : code -> string
+(** One-line meaning — the fourth column of the README catalogue
+    table, pinned by a test so docs can't drift. *)
 
 val all_codes : code list
 

@@ -385,3 +385,40 @@ let sta_consistency ?model mc =
         (Network.topo_order net);
       List.rev !diags)
     mc
+
+(* ------------------------------------------------------------------ *)
+(* Sensitization findings                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Advisory diagnostics over a sensitization report. Both findings are
+   gated on a complete enumeration: with [truncated] set, the missed
+   paths may well be sensitizable and nothing can be claimed. *)
+let sensitization (report : Sensitization.report) =
+  run_pass "sensitization"
+    (fun (report : Sensitization.report) ->
+      if report.Sensitization.truncated then []
+      else begin
+        let diags =
+          Sensitization.false_outputs report
+          |> List.map (fun output ->
+                 Diag.diag Diag.Sta_false_path ~signal:output
+                   (Printf.sprintf
+                      "output %S is topologically critical only through provably \
+                       false paths (functional delay <= %.6f, topological %.6f)"
+                      output report.Sensitization.target
+                      report.Sensitization.delta))
+        in
+        let _, nf, _ = Sensitization.counts report in
+        let n = List.length report.Sensitization.paths in
+        if n > 0 && 2 * nf >= n then
+          diags
+          @ [
+              Diag.diag Diag.Mask_false_paths
+                (Printf.sprintf
+                   "%d of %d near-critical paths are statically false: the masking \
+                    cover over-protects (consider --prune-false-paths)"
+                   nf n);
+            ]
+        else diags
+      end)
+    report

@@ -49,3 +49,9 @@ val sta_consistency : ?model:Sta.delay_model -> Mapped.t -> Diag.t list
 (** STA001/STA002/STA003: Δ agrees with the maximum per-output arrival
     (Δ_y consistency) and is attained; arrival times are monotone along
     fanin edges; no negative delays, arrivals or end-of-path slacks. *)
+
+val sensitization : Sensitization.report -> Diag.t list
+(** STA004: an output whose every near-critical path proved statically
+    false; MASK005: at least half of all near-critical paths proved
+    false. Both advisory ([Warning]) and suppressed entirely when the
+    report's enumeration truncated. *)

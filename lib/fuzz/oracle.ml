@@ -361,6 +361,112 @@ let blif_roundtrip ~rng:_ ~budget:_ net =
     else Pass
   end
 
+(* ---------- sens-sim ---------- *)
+
+(* Sensitization verdicts against exhaustive bit-parallel simulation.
+   The analysis proves them with BDDs and witnesses them with DPLL;
+   here a third engine re-derives the static sensitization condition
+   per pattern: every signal word comes from [Bitsim], and the per-gate
+   Boolean difference is evaluated directly over the SOP cover with the
+   on-path pins forced to all-ones / all-zeros words. A [False] path
+   must be dead on all 2^n patterns; a [True] path's witness must
+   sensitize it. [Unknown] is exempt by construction — it claims
+   nothing. *)
+let sens_vs_sim ~rng:_ ~budget net =
+  let n = Array.length (Network.inputs net) in
+  if n > 14 then Skip "too many inputs for exhaustive sensitization check"
+  else if Network.num_nodes net > 120 then
+    Skip "too large for sensitization check"
+  else begin
+    let mc = Mapper.map net in
+    let report = Sensitization.analyze ~band:0.35 ~budget mc in
+    let paths = report.Sensitization.paths in
+    if List.length paths > 256 then Skip "too many near-critical paths"
+    else begin
+      let mnet = Mapped.network mc in
+      let sim = Bitsim.prepare mnet in
+      (* SOP evaluation over 62-pattern words, independent of the BDD
+         and DPLL engines (and of [Logic2.Cover.eval]). *)
+      let cover_word cover fanin_words =
+        List.fold_left
+          (fun acc cube ->
+            acc
+            lor List.fold_left
+                  (fun w (v, phase) ->
+                    w land (if phase then fanin_words.(v) else lnot fanin_words.(v)))
+                  (-1) (Logic2.Cube.literals cube))
+          0 (Logic2.Cover.cubes cover)
+      in
+      (* The sensitization condition of [path] on one 62-pattern block:
+         AND over its gates of f[x:=1] xor f[x:=0], side inputs at
+         their simulated values. *)
+      let cond_word sigs words =
+        let w = ref (-1) in
+        for i = 1 to Array.length sigs - 1 do
+          let g = sigs.(i) and x = sigs.(i - 1) in
+          match Network.node_of mnet g with
+          | None -> ()
+          | Some nd ->
+            let sub c =
+              Array.map
+                (fun f -> if f = x then c else words.(f))
+                nd.Network.fanins
+            in
+            w :=
+              !w
+              land (cover_word nd.Network.func (sub (-1))
+                   lxor cover_word nd.Network.func (sub 0))
+        done;
+        !w
+      in
+      let pi_words_of ~lo ~cnt =
+        Array.init n (fun v ->
+            let w = ref 0 in
+            for b = 0 to cnt - 1 do
+              if (lo + b) lsr v land 1 = 1 then w := !w lor (1 lsl b)
+            done;
+            !w)
+      in
+      let npat = 1 lsl n in
+      let check c =
+        let sigs = c.Sensitization.path.Paths.signals in
+        let name () = Paths.to_string mnet c.Sensitization.path in
+        match c.Sensitization.verdict with
+        | Sensitization.Unknown _ -> Pass
+        | Sensitization.True w ->
+          (* One-block evaluation at the witness pattern. *)
+          let pi_words = Array.init n (fun v -> if w.(v) then 1 else 0) in
+          let words = Bitsim.eval_word sim pi_words in
+          if cond_word sigs words land 1 = 1 then Pass
+          else failf "witness does not sensitize path %s" (name ())
+        | Sensitization.False ->
+          let result = ref Pass in
+          let base = ref 0 in
+          while !result = Pass && !base < npat do
+            let lo = !base in
+            let cnt = min 62 (npat - lo) in
+            let mask = (1 lsl cnt) - 1 in
+            let words = Bitsim.eval_word sim (pi_words_of ~lo ~cnt) in
+            let hit = cond_word sigs words land mask in
+            if hit <> 0 then begin
+              let b = ref 0 in
+              while hit lsr !b land 1 = 0 do
+                incr b
+              done;
+              result :=
+                failf "pattern %d sensitizes path %s declared False" (lo + !b)
+                  (name ())
+            end;
+            base := lo + cnt
+          done;
+          !result
+      in
+      List.fold_left
+        (fun acc c -> match acc with Pass -> check c | other -> other)
+        Pass paths
+    end
+  end
+
 (* ---------- catalogue ---------- *)
 
 let all =
@@ -397,6 +503,13 @@ let all =
       name = "blif-roundtrip";
       describe = "BLIF parse/print round-trip preserves the function; printing is a fixpoint";
       check = blif_roundtrip;
+    };
+    {
+      name = "sens-sim";
+      describe =
+        "sensitization verdicts vs exhaustive bit-parallel simulation (True \
+         witnesses sensitize; False paths dead on all patterns)";
+      check = sens_vs_sim;
     };
   ]
 

@@ -32,6 +32,8 @@ type options = {
   map_style : Mapper.style;
   log_errors : bool;
   delay_model : Sta.delay_model;
+  prune_false_paths : bool;
+      (* drop provably-false critical outputs from the cover (exact tier) *)
   jobs : int; (* SPCF worker domains; 0 = inherit EMASK_JOBS, 1 = sequential *)
   budget : Budget.spec; (* resource governance; no_limits = ungoverned *)
 }
@@ -48,6 +50,7 @@ let default_options =
     map_style = Mapper.Balanced;
     log_errors = false;
     delay_model = Sta.Library;
+    prune_false_paths = false;
     jobs = 0;
     budget = Budget.no_limits;
   }
@@ -78,6 +81,8 @@ type t = {
   tier : Spcf.Governed.tier; (* ladder tier the whole synthesis landed on *)
   attempts : (Spcf.Governed.tier * Budget.reason) list;
       (* budget walls hit by the tiers that did not complete *)
+  pruned : string list;
+      (* critical outputs dropped from the cover as provably false *)
 }
 
 (* The resolved SPCF worker-domain count for a run. *)
@@ -181,6 +186,36 @@ let synthesize_body options ~budget ~tier ~attempts net =
         | Some (_, s) -> Some (name, s, sigma)
         | None -> None)
       spcf.Spcf.Ctx.outputs
+  in
+  (* Opt-in false-path pruning: drop a critical output from the cover
+     only on double evidence — every near-critical path to it proves
+     statically false AND its SPCF Σ_y is empty. Static sensitization
+     alone is optimistic for floating-mode delay; the empty SPCF is
+     the functional certificate that no pattern needs masking there.
+     Only the exact tier carries that certificate, so the fallback
+     tiers never prune. *)
+  let pruned, critical =
+    if
+      options.prune_false_paths
+      && (match tier with Spcf.Governed.Exact -> true | _ -> false)
+      && options.algorithm <> Node_based
+    then begin
+      (* The band mirrors the SPCF target: near-critical means longer
+         than theta * delta, i.e. band = 1 - theta. *)
+      let report =
+        Sensitization.analyze_ctx ~band:(1. -. options.theta)
+          ~jobs:(jobs_of options) ctx
+      in
+      let false_outs = Sensitization.false_outputs report in
+      let p, keep =
+        List.partition
+          (fun (name, _, sigma) ->
+            sigma = Bdd.bfalse && List.mem name false_outs)
+          critical
+      in
+      (List.map (fun (name, _, _) -> name) p, keep)
+    end
+    else ([], critical)
   in
   (* Per-node Σ: union of the SPCFs of the critical outputs whose fanin
      cone contains the node ("all outputs simultaneously"). *)
@@ -479,6 +514,7 @@ let synthesize_body options ~budget ~tier ~attempts net =
     delta;
     tier;
     attempts;
+    pruned;
   }
 
 (* The degradation ladder (DESIGN.md §11). Each tier reruns the whole

@@ -23,6 +23,14 @@ type options = {
   map_style : Mapper.style;
   log_errors : bool;  (** add e·(y⊕ỹ) outputs for wearout logging *)
   delay_model : Sta.delay_model;
+  prune_false_paths : bool;
+      (** opt-in (default [false]): drop a critical output from the
+          masking cover when {e both} every near-critical path to it
+          proves statically false ([Sensitization]) {e and} its SPCF
+          Σ_y is empty. The indicator [e] shrinks while
+          [Σ ⊆ e ⊆ (ỹ = y)] is preserved — Σ_y of a pruned output is
+          empty, so dropping it removes nothing from Σ. Only the
+          exact tier prunes; fallback tiers carry no certificate. *)
   jobs : int;
       (** SPCF worker domains ([Spcf.Parallel]); 0 = inherit
           [EMASK_JOBS], 1 = sequential (default) *)
@@ -66,6 +74,9 @@ type t = {
           [options.budget = Budget.no_limits]) *)
   attempts : (Spcf.Governed.tier * Budget.reason) list;
       (** budget walls hit by the tiers that did {e not} complete *)
+  pruned : string list;
+      (** critical outputs dropped from the cover as provably false
+          (empty unless [prune_false_paths] was set) *)
 }
 
 val synthesize : ?options:options -> Network.t -> t

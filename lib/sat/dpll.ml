@@ -41,7 +41,7 @@ let add_clause t lits =
 
 exception Found of bool array
 
-let solve t =
+let solve ?(budget = Budget.unlimited) t =
   Obs.enter "sat.dpll.solve";
   Obs.incr c_solves;
   let clauses = Array.of_list t.clauses in
@@ -104,6 +104,7 @@ let solve t =
     let v = next 0 in
     if v < 0 then raise (Found (Array.map (fun x -> x = 1) value))
     else begin
+      Budget.tick budget;
       Obs.incr c_decisions;
       Obs.observe h_decision_level level;
       Obs.record_max c_max_level level;
@@ -116,13 +117,13 @@ let solve t =
       undo_to mark
     end
   in
-  let r =
-    try
-      if propagate () then decide 1;
-      Unsat
-    with Found model -> Sat model
-  in
-  Obs.leave ();
-  r
+  (* [Fun.protect] keeps the Obs span balanced when [Budget.tick]
+     aborts the search with [Budget_exceeded]. *)
+  Fun.protect ~finally:Obs.leave (fun () ->
+      try
+        if propagate () then decide 1;
+        Unsat
+      with Found model -> Sat model)
 
-let is_satisfiable t = match solve t with Sat _ -> true | Unsat -> false
+let is_satisfiable ?budget t =
+  match solve ?budget t with Sat _ -> true | Unsat -> false

@@ -17,5 +17,11 @@ val create : int -> t
 (** [create nvars] — variables are [0 .. nvars-1]. *)
 
 val add_clause : t -> literal list -> unit
-val solve : t -> result
-val is_satisfiable : t -> bool
+
+val solve : ?budget:Budget.t -> t -> result
+(** Complete search. When a [budget] is supplied it is ticked once per
+    branching decision, so an exhausted budget aborts the search with
+    [Budget.Budget_exceeded] — the caller must then treat the query as
+    undecided, never as [Unsat]. *)
+
+val is_satisfiable : ?budget:Budget.t -> t -> bool

@@ -13,6 +13,63 @@ let fresh enc =
   incr enc.next_var;
   v
 
+(* A cover input binding: a literal of the solver, or a constant that
+   partially evaluates the cover during encoding. *)
+type input = Const of bool | Lit of Dpll.literal
+
+(* CNF-encode an SOP over per-variable bindings. Cubes are reduced
+   under the constant bindings first (a conflicting literal kills the
+   cube, a matching one drops out), so the encoding introduces no
+   variables for logic the constants already decide; the cover's value
+   comes back as a literal — or as a constant when the bindings decide
+   it outright. Used for pin-substituted gate encodings (sensitization
+   analysis) where some pins of a gate are forced to a value. *)
+let encode_sop solver next_var cover binds =
+  let fresh () =
+    let v = !next_var in
+    incr next_var;
+    v
+  in
+  (* Reduce each cube: [None] when a constant binding contradicts a
+     literal; [Some lits] with the surviving solver literals otherwise. *)
+  let reduce cube =
+    List.fold_left
+      (fun acc (v, phase) ->
+        match acc with
+        | None -> None
+        | Some lits -> (
+          match binds.(v) with
+          | Const b -> if b = phase then Some lits else None
+          | Lit l -> Some ((if phase then l else Dpll.negate l) :: lits)))
+      (Some []) (Logic2.Cube.literals cube)
+  in
+  let cubes = List.filter_map reduce (Logic2.Cover.cubes cover) in
+  if List.exists (fun lits -> lits = []) cubes then Const true
+  else
+    (* Cube variables u <-> AND of surviving literals. *)
+    let cube_lits =
+      List.map
+        (function
+          | [ single ] -> single
+          | lits ->
+            let u = fresh () in
+            List.iter (fun l -> Dpll.add_clause solver [ Dpll.neg u; l ]) lits;
+            Dpll.add_clause solver (Dpll.pos u :: List.map Dpll.negate lits);
+            Dpll.pos u)
+        cubes
+    in
+    match cube_lits with
+    | [] -> Const false
+    | [ single ] -> Lit single
+    | lits ->
+      (* z <-> OR of cubes. *)
+      let z = fresh () in
+      Dpll.add_clause solver (Dpll.neg z :: lits);
+      List.iter
+        (fun l -> Dpll.add_clause solver [ Dpll.negate l; Dpll.pos z ])
+        lits;
+      Lit (Dpll.pos z)
+
 (* Encode every signal of [net] on top of an existing variable budget;
    input variables are supplied by [input_var name]. *)
 let encode_network solver next_var ~input_var net =

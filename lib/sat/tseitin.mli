@@ -6,6 +6,18 @@ type encoding = {
   next_var : int ref;
 }
 
+type input = Const of bool | Lit of Dpll.literal
+(** A cover input binding: a solver literal, or a constant partially
+    evaluating the cover during encoding. *)
+
+val encode_sop : Dpll.t -> int ref -> Logic2.Cover.t -> input array -> input
+(** [encode_sop solver next_var cover binds] CNF-encodes the SOP
+    [cover] under per-variable bindings [binds] (indexed by the
+    cover's local variable numbers), allocating auxiliary variables
+    from [next_var]. Cubes are reduced under the constant bindings, so
+    the result may itself be a [Const] when the bindings decide the
+    cover outright. *)
+
 val encode_network :
   Dpll.t -> int ref -> input_var:(string -> int) -> Network.t -> encoding
 

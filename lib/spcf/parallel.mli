@@ -46,3 +46,14 @@ val export : Bdd.man -> Bdd.t -> dag
 val import : Bdd.man -> dag -> Bdd.t
 (** Cross-manager BDD transport (exposed for tests): postorder DAG with
     terminal ids 0/1 and internal ids offset by 2. *)
+
+val fanout :
+  k:int ->
+  worker:(int -> ('a, Budget.reason) result) ->
+  commit:('a array -> 'b) ->
+  'b
+(** Generic domain fan-out driver (exposed for the sensitization
+    analysis): spawn [k] workers, join them, merge their Obs snapshots
+    in worker order, raise [Budget.Budget_exceeded] with the first
+    non-Cancelled reason if any worker returned [Error], else hand the
+    per-worker successes to [commit]. *)

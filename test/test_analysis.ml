@@ -53,10 +53,12 @@ let test_codes_stable () =
       (Diag.Sta_delta, "STA001");
       (Diag.Sta_monotone, "STA002");
       (Diag.Sta_negative, "STA003");
+      (Diag.Sta_false_path, "STA004");
       (Diag.Mask_intrusive, "MASK001");
       (Diag.Mask_slack, "MASK002");
       (Diag.Mask_mux, "MASK003");
       (Diag.Mask_coverage, "MASK004");
+      (Diag.Mask_false_paths, "MASK005");
     ]
   in
   List.iter (fun (c, id) -> check_str id id (Diag.code_id c)) expect;
@@ -276,6 +278,45 @@ let test_contract_slack_margin () =
   let ds = Contract.check_slack ~margin:0.999 m in
   check "impossible margin violated" true (has Diag.Mask_slack ds)
 
+(* The README's diagnostic-catalogue table must stay in lockstep with
+   Analysis.Diag: one row per code, with the id, name, default
+   severity, IR level and meaning the library reports. *)
+let test_readme_catalogue () =
+  let readme =
+    let ic = open_in "../README.md" in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let rows =
+    String.split_on_char '\n' readme
+    |> List.filter_map (fun line ->
+           match String.split_on_char '|' line with
+           | [ ""; code; name; sev; level; meaning; "" ]
+             when String.length (String.trim code) > 2
+                  && (String.trim code).[0] = '`' ->
+               let strip s = String.trim s in
+               let unquote s =
+                 let s = strip s in
+                 String.sub s 1 (String.length s - 2)
+               in
+               Some (unquote code, strip name, strip sev, strip level, strip meaning)
+           | _ -> None)
+  in
+  check_int "one table row per catalogue code" (List.length Diag.all_codes)
+    (List.length rows);
+  List.iter2
+    (fun c (id, name, sev, level, meaning) ->
+      check_str (id ^ " id") (Diag.code_id c) id;
+      check_str (id ^ " name") (Diag.code_name c) name;
+      check_str (id ^ " severity")
+        (Diag.severity_to_string (Diag.default_severity c))
+        sev;
+      check_str (id ^ " level") (Diag.code_level c) level;
+      check_str (id ^ " meaning") (Diag.code_meaning c) meaning)
+    Diag.all_codes rows
+
 let () =
   Alcotest.run "analysis"
     [
@@ -283,6 +324,7 @@ let () =
         [
           Alcotest.test_case "severity and exit codes" `Quick test_severity_and_exit;
           Alcotest.test_case "stable code catalogue" `Quick test_codes_stable;
+          Alcotest.test_case "readme catalogue" `Quick test_readme_catalogue;
           Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
         ] );
       ( "passes",

@@ -1,0 +1,137 @@
+(* End-to-end tests of the emask executable: option validation (the
+   --theta and --jobs converters reject bad values the same way), the
+   paths subcommand's contract with CI (final "verdicts:" line, zero
+   Unknown on the examples), and byte-identical output across --jobs. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let emask =
+  match Sys.getenv_opt "EMASK" with
+  | Some path -> path
+  | None -> Filename.concat ".." (Filename.concat "bin" "emask.exe")
+
+(* Run the binary, returning (exit code, stdout lines, stderr lines). *)
+let run args =
+  let out = Filename.temp_file "emask_out" ".txt" in
+  let err = Filename.temp_file "emask_err" ".txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s" (Filename.quote emask)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code =
+    match Sys.command cmd with c -> c
+  in
+  let slurp f =
+    let ic = open_in f in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let lines = go [] in
+    close_in ic;
+    Sys.remove f;
+    lines
+  in
+  (code, slurp out, slurp err)
+
+let fixture name = Filename.concat "fixtures" name
+let example name = Filename.concat (Filename.concat ".." (Filename.concat "examples" "blif")) name
+
+let test_theta_validation () =
+  (* Bad --theta must fail exactly like bad --jobs: same exit code,
+     one-line diagnostic naming the offending value. *)
+  let jobs_code, _, jobs_err = run [ "protect"; fixture "allfalse.blif"; "--jobs=0" ] in
+  check "bad --jobs rejected" true (jobs_code <> 0);
+  List.iter
+    (fun bad ->
+      let code, _, err = run [ "protect"; fixture "allfalse.blif"; "--theta=" ^ bad ] in
+      check_int (Printf.sprintf "--theta %s exits like --jobs 0" bad) jobs_code code;
+      check_int
+        (Printf.sprintf "--theta %s stderr shape matches --jobs" bad)
+        (List.length jobs_err) (List.length err);
+      check
+        (Printf.sprintf "--theta %s first line is the full diagnostic" bad)
+        true
+        (match err with
+        | line :: _ ->
+            let has needle =
+              let n = String.length needle and len = String.length line in
+              let rec go i = i + n <= len && (String.sub line i n = needle || go (i + 1)) in
+              go 0
+            in
+            has "THETA" && has bad
+        | [] -> false))
+    [ "0"; "-0.5"; "1.5"; "2" ];
+  (* Good values at the boundary still parse. *)
+  let code, _, _ = run [ "protect"; fixture "allfalse.blif"; "--theta"; "1.0" ] in
+  check_int "--theta 1.0 accepted" 0 code
+
+let last_line = function [] -> "" | lines -> List.nth lines (List.length lines - 1)
+
+let test_paths_examples () =
+  (* The CI smoke contract: clean exit, final verdict tally, zero
+     Unknown on every shipped example. *)
+  List.iter
+    (fun name ->
+      let code, out, _ = run [ "paths"; example name ] in
+      check_int (name ^ " clean exit") 0 code;
+      let last = last_line out in
+      check (name ^ " verdict line") true
+        (String.length last >= 9 && String.sub last 0 9 = "verdicts:");
+      check (name ^ " zero unknown") true
+        (let suffix = ", 0 unknown" in
+         let k = String.length suffix and n = String.length last in
+         n >= k && String.sub last (n - k) k = suffix))
+    [ "full_adder.blif"; "mux4.blif"; "parity8.blif" ]
+
+let test_paths_jobs_identical () =
+  let outputs =
+    List.map
+      (fun jobs ->
+        let code, out, _ =
+          run
+            [ "paths"; example "parity8.blif"; "--band"; "0.4"; "--json";
+              "--jobs"; string_of_int jobs ]
+        in
+        check_int (Printf.sprintf "jobs=%d clean exit" jobs) 0 code;
+        String.concat "\n" out)
+      [ 1; 2; 4; 8 ]
+  in
+  match outputs with
+  | base :: rest ->
+      List.iteri
+        (fun i o -> check (Printf.sprintf "jobs run %d identical" (i + 2)) true (o = base))
+        rest
+  | [] -> Alcotest.fail "no outputs"
+
+let test_paths_diags () =
+  (* allfalse at a narrow band: STA004 + MASK005 surface, exit stays 0
+     (warnings), and --fail-on warning raises it to 1. *)
+  let code, out, _ = run [ "paths"; fixture "allfalse.blif"; "--band"; "0.2" ] in
+  check_int "warnings exit 0" 0 code;
+  let text = String.concat "\n" out in
+  let has needle =
+    let n = String.length needle and len = String.length text in
+    let rec go i = i + n <= len && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "STA004 reported" true (has "STA004");
+  check "MASK005 reported" true (has "MASK005");
+  let code, _, _ =
+    run [ "paths"; fixture "allfalse.blif"; "--band"; "0.2"; "--fail-on"; "warning" ]
+  in
+  check_int "fail-on warning exits 1" 1 code
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "emask",
+        [
+          Alcotest.test_case "theta validation" `Quick test_theta_validation;
+          Alcotest.test_case "paths examples" `Quick test_paths_examples;
+          Alcotest.test_case "paths jobs identical" `Quick test_paths_jobs_identical;
+          Alcotest.test_case "paths diagnostics" `Quick test_paths_diags;
+        ] );
+    ]
