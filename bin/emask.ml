@@ -6,6 +6,7 @@
      spcf      compute speed-path characteristic functions
      paths     near-critical path sensitization verdicts + witnesses
      protect   synthesize + verify an error-masking circuit
+     eco       incremental recompute after an edit sequence
      wearout   aging sweep with the timing simulator
      trace     trace-buffer window expansion report
      fuzz      property-based differential fuzzing of the whole stack
@@ -455,12 +456,15 @@ let protect_cmd =
 
 (* --- paths: sensitization analysis of the near-critical band ------------ *)
 
+(* Same converter discipline as --theta/--jobs: a band of 0 classifies
+   nothing and one above 1 silently clamps, so both are argument errors
+   (one-line diagnostic, exit 2), not silent near-no-ops. *)
 let band_conv =
   let parse s =
     match float_of_string_opt s with
-    | Some v when v >= 0. && v <= 1. -> Ok v
+    | Some v when v > 0. && v <= 1. -> Ok v
     | Some _ | None ->
-      Error (`Msg (Printf.sprintf "BAND must lie in [0, 1], got %S" s))
+      Error (`Msg (Printf.sprintf "BAND must lie in (0, 1], got %S" s))
   in
   Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
 
@@ -673,6 +677,153 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc:"Trace-buffer window expansion via selective capture")
     Term.(const trace_run $ obs_term $ circuit_arg $ buffer_arg $ cycles_arg)
+
+(* --- eco: incremental recompute after an engineering change order ------- *)
+
+let edits_arg =
+  let doc =
+    "Edit-sequence file, one edit per line: $(b,replace), $(b,rewire), $(b,add), \
+     $(b,remove), $(b,add-output), $(b,drop-output); blank lines and $(b,#) \
+     comments are skipped. Fuzz $(b,.eco) repro files use this format."
+  in
+  Arg.(required & opt (some string) None & info [ "edits" ] ~docv:"FILE" ~doc)
+
+let eco_band_arg =
+  let doc =
+    "Also carry sensitization verdicts for the near-critical band (same semantics \
+     as $(b,emask paths --band)); verdicts on paths through clean outputs are \
+     reused from the baseline."
+  in
+  Arg.(value & opt (some band_conv) None & info [ "band" ] ~docv:"F" ~doc)
+
+let check_arg =
+  let doc =
+    "Cross-check the incremental result against a full from-scratch analysis of \
+     the edited design: the canonical forms must be byte-identical (exit 1 \
+     otherwise). This is the $(b,eco-equal) oracle on the given edit sequence."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let eco_json spec ~edits ~jobs ~check_result (base : Eco.t) (t : Eco.t) =
+  let open Obs_json in
+  let st = t.Eco.stats in
+  Obj
+    ([
+       ("circuit", String spec);
+       ("edits", Int (List.length edits));
+       ("theta", Float t.Eco.theta);
+       ("jobs", Int jobs);
+       ("delta_before", Float base.Eco.delta);
+       ("delta_after", Float t.Eco.delta);
+       ("target", Float t.Eco.target);
+       ("total_signals", Int st.Eco.total_signals);
+       ("dirty_signals", Int st.Eco.dirty_signals);
+       ("funcs_reused", Int st.Eco.funcs_reused);
+       ("funcs_rebuilt", Int st.Eco.funcs_rebuilt);
+       ("sigmas_reused", Int st.Eco.sigmas_reused);
+       ("sigmas_recomputed", Int st.Eco.sigmas_recomputed);
+       ("delta_changed", Bool st.Eco.delta_changed);
+       ( "critical_outputs",
+         List (List.map (fun (n, _, _) -> String n) t.Eco.sigmas) );
+       ("fingerprint", String (Eco.fingerprint t));
+     ]
+    @ (match t.Eco.band with Some b -> [ ("band", Float b) ] | None -> [])
+    @
+    match check_result with
+    | None -> []
+    | Some ok -> [ ("check", String (if ok then "identical" else "DIVERGED")) ])
+
+let eco_run obs spec edits_file theta band jobs json check bflags =
+  let code =
+    guarded @@ fun () ->
+    with_obs obs "eco" @@ fun () ->
+    let jobs = resolve_jobs jobs in
+    let bspec = resolve_budget bflags in
+    let budget =
+      if Budget.is_no_limits bspec then Budget.unlimited else Budget.instantiate bspec
+    in
+    let net = load_circuit spec in
+    note_circuit spec net;
+    note_run ~theta ~jobs;
+    let mc = Obs.with_span "map" (fun () -> Mapper.map net) in
+    let d0 = Eco.design_of_mapped mc in
+    let edits = Eco.parse_edits d0 (read_file edits_file) in
+    let base =
+      Obs.with_span "eco.baseline" (fun () ->
+          Eco.snapshot ~theta ?band ~jobs ~budget d0)
+    in
+    let t =
+      Obs.with_span "eco.recompute" (fun () -> Eco.recompute ~jobs base edits)
+    in
+    let check_result =
+      if not check then None
+      else
+        Some
+          (Obs.with_span "eco.check" (fun () ->
+               let full = Eco.snapshot ~theta ?band ~jobs ~budget t.Eco.design in
+               Eco.canonical full = Eco.canonical t))
+    in
+    let st = t.Eco.stats in
+    if Obs_ledger.enabled () then begin
+      Obs_ledger.note "edits" (Obs_json.Int (List.length edits));
+      Obs_ledger.note "dirty_signals" (Obs_json.Int st.Eco.dirty_signals)
+    end;
+    if json then
+      print_endline
+        (Obs_json.to_string (eco_json spec ~edits ~jobs ~check_result base t))
+    else begin
+      Printf.printf "circuit: %s\n" spec;
+      Printf.printf "edits: %d  (from %s)\n" (List.length edits) edits_file;
+      Printf.printf "delta: %.3f -> %.3f%s  target: %.3f  (theta %.3f)\n"
+        base.Eco.delta t.Eco.delta
+        (if st.Eco.delta_changed then "  [changed: all targets re-derived]" else "")
+        t.Eco.target theta;
+      Printf.printf "dirty cone: %d of %d signals\n" st.Eco.dirty_signals
+        st.Eco.total_signals;
+      Printf.printf "node functions: %d reused, %d rebuilt\n" st.Eco.funcs_reused
+        st.Eco.funcs_rebuilt;
+      Printf.printf "output SPCFs:   %d reused, %d recomputed\n" st.Eco.sigmas_reused
+        st.Eco.sigmas_recomputed;
+      Printf.printf "critical outputs: %s\n"
+        (match t.Eco.sigmas with
+        | [] -> "(none)"
+        | l -> String.concat ", " (List.map (fun (n, _, _) -> n) l));
+      (match t.Eco.sens with
+      | None -> ()
+      | Some r ->
+        let nt, nf, nu = Sensitization.counts r in
+        Printf.printf "sensitization: %d paths (%d true, %d false, %d unknown)\n"
+          (List.length r.Sensitization.paths)
+          nt nf nu);
+      Printf.printf "fingerprint: %s\n" (Eco.fingerprint t);
+      match check_result with
+      | None -> ()
+      | Some true -> Printf.printf "check: incremental = full recompute (canonical forms identical)\n"
+      | Some false ->
+        Printf.printf "check: DIVERGED — incremental differs from full recompute\n"
+    end;
+    match check_result with Some false -> 1 | _ -> 0
+  in
+  if code <> 0 then exit code
+
+let eco_cmd =
+  Cmd.v
+    (Cmd.info "eco"
+       ~doc:
+         "Apply an engineering-change-order edit sequence and incrementally \
+          re-derive the timing-error-masking analysis: only the dirty \
+          transitive-fanout cone is recomputed; node functions, per-output SPCFs, \
+          masking covers and sensitization verdicts outside the cone are reused \
+          from the baseline snapshot")
+    Term.(
+      const eco_run $ obs_term $ circuit_arg $ edits_arg $ theta_arg $ eco_band_arg
+      $ jobs_arg $ json_arg $ check_arg $ budget_term)
 
 (* --- fuzz --------------------------------------------------------------- *)
 
@@ -991,6 +1142,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; lint_cmd; spcf_cmd; paths_cmd; protect_cmd; wearout_cmd;
-            trace_cmd; fuzz_cmd; report_cmd;
+            list_cmd; lint_cmd; spcf_cmd; paths_cmd; protect_cmd; eco_cmd;
+            wearout_cmd; trace_cmd; fuzz_cmd; report_cmd;
           ]))

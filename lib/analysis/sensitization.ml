@@ -266,6 +266,18 @@ let make_report ctx ~jobs enum classified =
       List.fold_left (fun acc s -> Float.max acc s.functional) 0. summaries;
   }
 
+(* Classify an explicit path subset sequentially with one shared
+   Boolean-difference cache — the incremental/ECO integration point:
+   [Eco.recompute] reuses verdicts for paths whose cone is clean and
+   hands only the stale remainder here. *)
+let classify_paths ctx paths =
+  let net = Spcf.Ctx.network ctx in
+  let npis = Array.length (Network.inputs net) in
+  let cache = Hashtbl.create 64 in
+  List.map (classify_one ~cache ctx ~npis) paths
+
+let assemble = make_report
+
 let analyze_ctx ?(band = 0.1) ?(max_paths = 4096) ?jobs ctx =
   let jobs = match jobs with Some j -> max 1 j | None -> 1 in
   Obs.enter "sens.analyze";

@@ -76,6 +76,16 @@ val analyze_ctx : ?band:float -> ?max_paths:int -> ?jobs:int -> Spcf.Ctx.t -> re
     [jobs > 1] requires a shared-manager context and is clamped to [1]
     otherwise. *)
 
+val classify_paths : Spcf.Ctx.t -> Paths.path list -> classified list
+(** Classify an explicit path subset sequentially (one shared
+    Boolean-difference cache), in list order. The incremental/ECO
+    integration point: [Eco.recompute] reuses verdicts for paths whose
+    fanin cone is untouched and classifies only the stale remainder. *)
+
+val assemble : Spcf.Ctx.t -> jobs:int -> Paths.t -> classified list -> report
+(** Build a {!report} from an enumeration and its classified paths
+    (which must be in {!Paths.enumerate} order). *)
+
 val verdict_name : verdict -> string
 (** ["true"], ["false"] or ["unknown"]. *)
 

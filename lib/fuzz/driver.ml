@@ -50,7 +50,7 @@ let sanitize msg =
    and unbounded, so the header pins what the run actually saw. *)
 let env_header () =
   [ "EMASK_JOBS"; "EMASK_BUDGET_TIMEOUT"; "EMASK_BUDGET_MAX_NODES";
-    "EMASK_BUDGET_MAX_OPS"; "EMASK_OBS" ]
+    "EMASK_BUDGET_MAX_OPS"; "EMASK_OBS"; "EMASK_FUZZ_SHARED" ]
   |> List.map (fun v ->
          Printf.sprintf "%s=%s" v
            (match Sys.getenv_opt v with
@@ -81,6 +81,46 @@ let still_fails oracle ~sample_rng ~budget spec =
   match Oracle.run oracle ~rng ~budget:(Budget.for_worker budget) (Gen.network spec) with
   | Oracle.Fail _ -> true
   | _ -> false
+
+(* eco-equal failures also carry an edit sequence. It is re-derived
+   from (seed, index) — the oracle's only rng consumption — on the
+   post-shrink spec, greedily minimized, and written next to the .blif
+   as a replayable .eco file ([Eco.parse_edits] format; the companion
+   netlist is named in the header). *)
+let eco_edit_fails ~budget net edits =
+  match
+    let d = Eco.design_of_mapped (Mapper.map net) in
+    let _ = Eco.apply_all d edits in
+    Oracle.eco_replay ~budget:(Budget.for_worker budget) net edits
+  with
+  | Oracle.Fail _ -> true
+  | _ | (exception _) -> false
+
+let write_eco_repro ~log ~dir ~seed ~index ~message ~sample_rng ~budget spec =
+  let net = Gen.network spec in
+  let rng = Rng.base (Rng.child sample_rng 0x51412) in
+  match Oracle.eco_edits ~rng net with
+  | None -> ()
+  | Some edits ->
+    let edits, evals =
+      if eco_edit_fails ~budget net edits then
+        Shrink.shrink_edits ~fails:(eco_edit_fails ~budget net) edits
+      else (edits, 0)
+    in
+    let d = Eco.design_of_mapped (Mapper.map net) in
+    let path =
+      Filename.concat dir (Printf.sprintf "fuzz-eco-equal-seed%d-%d.eco" seed index)
+    in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "# emask fuzz eco repro\n# oracle: eco-equal\n# seed: %d  index: %d\n\
+       # env: %s\n# %s\n# apply to: fuzz-eco-equal-seed%d-%d.blif\n%s"
+      seed index (env_header ()) (sanitize message) seed index
+      (Eco.edits_to_string d edits);
+    close_out oc;
+    log
+      (Printf.sprintf "  edit sequence (%d edits, %d replays) written to %s"
+         (List.length edits) evals path)
 
 let run ?(log = print_endline) config =
   let t0 = Obs.now () in
@@ -141,6 +181,9 @@ let run ?(log = print_endline) config =
                       ~index ~message spec
                   in
                   log (Printf.sprintf "  repro written to %s" path);
+                  if oracle.Oracle.name = "eco-equal" then
+                    write_eco_repro ~log ~dir ~seed:config.seed ~index ~message
+                      ~sample_rng ~budget spec;
                   path)
                 config.out_dir
             in

@@ -3,7 +3,11 @@
 
     Every sample [i] draws its randomness from [Rng.child root i], so a
     failure is replayed from [(seed, index)] alone; the header of every
-    repro [.blif] names the oracle, the root seed, and the index. *)
+    repro [.blif] names the oracle, the root seed, the index, and the
+    [EMASK_*] environment the run saw. [eco-equal] failures additionally
+    get a companion [.eco] file — the greedily minimized edit sequence
+    in [Eco.parse_edits] format, re-derived from [(seed, index)] — next
+    to the [.blif] it applies to. *)
 
 type config = {
   seed : int;  (** root seed; every report names it *)

@@ -1,0 +1,84 @@
+(* Random-but-valid ECO edit sequences. Each edit is drawn against the
+   current design and applied before the next is drawn, mirroring how
+   [Eco.parse_edits] resolves names against the evolving design. Kinds
+   that are infeasible on the current design (no live gate to remove,
+   only one output left) are simply re-rolled a few times. *)
+
+let all_cells = Array.of_list Cell.all
+
+let live_gate_slots d =
+  let npi = Eco.num_pis d in
+  let out = ref [] in
+  for s = Eco.num_signals d - 1 downto npi do
+    if Eco.live d s then out := s :: !out
+  done;
+  Array.of_list !out
+
+(* Live signals usable as a fanin of the slot driving [bound] — PIs and
+   strictly earlier slots (the validity rule [Eco.apply] enforces). *)
+let preds d ~bound =
+  let out = ref [] in
+  for s = min bound (Eco.num_signals d) - 1 downto 0 do
+    if Eco.live d s then out := s :: !out
+  done;
+  Array.of_list !out
+
+let fresh_name d counter prefix =
+  let rec go () =
+    let name = Printf.sprintf "%s%d" prefix !counter in
+    incr counter;
+    if Eco.find_signal d name <> None || List.mem_assoc name d.Eco.outputs then go ()
+    else name
+  in
+  go ()
+
+let gen_edit rng d counter =
+  let gates = live_gate_slots d in
+  match Util.Rng.int rng 6 with
+  | 0 when Array.length gates > 0 ->
+    let target = Util.Rng.pick rng gates in
+    let cell = Util.Rng.pick rng all_cells in
+    let pool = preds d ~bound:target in
+    let fanins = Array.init cell.Cell.arity (fun _ -> Util.Rng.pick rng pool) in
+    Some (Eco.Replace { target; cell; fanins })
+  | 1 when Array.length gates > 0 ->
+    let target = Util.Rng.pick rng gates in
+    let g = Option.get (Eco.gate_of d target) in
+    let pin = Util.Rng.int rng (Array.length g.Eco.fanins) in
+    let fanin = Util.Rng.pick rng (preds d ~bound:target) in
+    Some (Eco.Rewire { target; pin; fanin })
+  | 2 ->
+    let cell = Util.Rng.pick rng all_cells in
+    let pool = preds d ~bound:(Eco.num_signals d) in
+    let fanins = Array.init cell.Cell.arity (fun _ -> Util.Rng.pick rng pool) in
+    Some (Eco.Add { aname = fresh_name d counter "eco_g"; cell; fanins })
+  | 3 when Array.length gates > 0 ->
+    Some (Eco.Remove { target = Util.Rng.pick rng gates })
+  | 4 ->
+    let pool = preds d ~bound:(Eco.num_signals d) in
+    let oname = fresh_name d counter "eco_po" in
+    Some (Eco.Add_output { oname; target = Util.Rng.pick rng pool })
+  | 5 when List.length d.Eco.outputs > 1 ->
+    let names = Array.of_list (List.map fst d.Eco.outputs) in
+    Some (Eco.Drop_output { oname = Util.Rng.pick rng names })
+  | _ -> None
+
+let edits ~rng ~count d =
+  let counter = ref 0 in
+  let out = ref [] and cur = ref d and made = ref 0 in
+  let attempts = ref 0 in
+  while !made < count && !attempts < count * 8 do
+    incr attempts;
+    match gen_edit rng !cur counter with
+    | None -> ()
+    | Some e -> (
+      (* Valid by construction; the apply is both the evolution step
+         and a defensive check. *)
+      match Eco.apply !cur e with
+      | a ->
+        cur := a.Eco.next;
+        out := e :: !out;
+        incr made
+      | exception Invalid_argument _ -> ())
+  done;
+  List.rev !out

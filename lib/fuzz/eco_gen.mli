@@ -1,0 +1,13 @@
+(** Random valid edit sequences over an {!Eco.design} — the input side
+    of the [eco-equal] differential oracle. Every edit is validated by
+    construction against the design it applies to (the sequence
+    evolves the design as it is generated), so [Eco.apply_all] on the
+    result never raises. Deterministic in the generator state: the
+    driver re-derives a failure's edit sequence from [(seed, index)]
+    alone when writing [.eco] repro files. *)
+
+val edits : rng:Util.Rng.t -> count:int -> Eco.design -> Eco.edit list
+(** Up to [count] random edits (gate replace/rewire/add/remove, output
+    add/drop) with fresh names drawn from [eco_g%d] / [eco_po%d]. May
+    return fewer (or none) when the design offers no feasible edit —
+    never an invalid one. *)

@@ -467,6 +467,84 @@ let sens_vs_sim ~rng:_ ~budget net =
     end
   end
 
+(* ---------- eco-equal ---------- *)
+
+(* Full recompute vs incremental recompute after a random edit
+   sequence, across jobs ∈ {1, 2, 4, 8}: the canonical rendering
+   (SPCF postorder DAGs, masking covers, verdict kinds, summaries)
+   must be byte-identical. θ = 0.5 keeps several outputs critical so
+   jobs > 1 actually fans out; the sensitization band exercises the
+   verdict-reuse path too. *)
+let eco_theta = 0.5
+let eco_band = 0.35
+
+let eco_edits ~rng net =
+  match Eco.design_of_mapped (Mapper.map net) with
+  | exception Invalid_argument _ -> None
+  | d -> (
+    let count = 1 + Util.Rng.int rng 6 in
+    match Eco_gen.edits ~rng ~count d with [] -> None | edits -> Some edits)
+
+(* Budget-sound [Unknown] verdicts are exempt from the comparison: the
+   incremental path may legally keep an [Unknown] a fresh run would
+   decide (and vice versa), since the two runs tick the budget
+   differently. *)
+let has_unknown t =
+  match t.Eco.sens with
+  | None -> false
+  | Some r ->
+    List.exists
+      (fun c ->
+        match c.Sensitization.verdict with Sensitization.Unknown _ -> true | _ -> false)
+      r.Sensitization.paths
+
+let first_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i = function
+    | x :: xs, y :: ys -> if x <> y then (i, x, y) else go (i + 1) (xs, ys)
+    | x :: _, [] -> (i, x, "<missing>")
+    | [], y :: _ -> (i, "<missing>", y)
+    | [], [] -> (i, "<equal>", "<equal>")
+  in
+  go 1 (la, lb)
+
+let eco_replay ~budget net edits =
+  let d = Eco.design_of_mapped (Mapper.map net) in
+  let base = Eco.snapshot ~theta:eco_theta ~band:eco_band ~budget d in
+  let d', _, _ = Eco.apply_all d edits in
+  let full = Eco.snapshot ~theta:eco_theta ~band:eco_band ~budget d' in
+  if has_unknown base || has_unknown full then Skip "unknown verdicts under budget"
+  else begin
+    let reference = Eco.canonical full in
+    let rec loop = function
+      | [] -> Pass
+      | jobs :: rest ->
+        let incr = Eco.recompute ~jobs base edits in
+        if has_unknown incr then
+          Skip (Printf.sprintf "unknown verdicts at jobs=%d" jobs)
+        else begin
+          let got = Eco.canonical incr in
+          if got <> reference then begin
+            let line, want, have = first_diff reference got in
+            failf
+              "jobs=%d: incremental diverges from full recompute after %d edits \
+               (canonical line %d: full %S vs incremental %S)"
+              jobs (List.length edits) line want have
+          end
+          else loop rest
+        end
+    in
+    loop [ 1; 2; 4; 8 ]
+  end
+
+let eco_equal ~rng ~budget net =
+  if Network.num_nodes net > 60 || Array.length (Network.inputs net) > 12 then
+    Skip "too large for ECO cross-check"
+  else
+    match eco_edits ~rng net with
+    | None -> Skip "no feasible edit sequence"
+    | Some edits -> eco_replay ~budget net edits
+
 (* ---------- catalogue ---------- *)
 
 let all =
@@ -510,6 +588,13 @@ let all =
         "sensitization verdicts vs exhaustive bit-parallel simulation (True \
          witnesses sensitize; False paths dead on all patterns)";
       check = sens_vs_sim;
+    };
+    {
+      name = "eco-equal";
+      describe =
+        "incremental ECO recompute = full recompute after random edit sequences, \
+         byte-identical canonical form across jobs in {1,2,4,8}";
+      check = eco_equal;
     };
   ]
 

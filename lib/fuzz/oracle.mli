@@ -30,7 +30,12 @@
       equivalent, Σ ⊆ e ⊆ (ỹ = y), and the masking-contract lints
       (mux shape, non-intrusiveness, indicator soundness) are clean.
     - [blif-roundtrip] — parse → print → parse: equivalence is
-      preserved and printing reaches a fixpoint after one round. *)
+      preserved and printing reaches a fixpoint after one round.
+    - [eco-equal] — incremental ECO recompute vs full recompute: after
+      a random edit sequence, [Eco.recompute] at jobs ∈ {1, 2, 4, 8}
+      must render the same {!Eco.canonical} form (SPCF DAGs, covers,
+      verdict kinds) as a from-scratch [Eco.snapshot] of the edited
+      design. *)
 
 type outcome = Pass | Fail of string | Skip of string
 
@@ -52,3 +57,18 @@ val run : t -> rng:Util.Rng.t -> ?budget:Budget.t -> Network.t -> outcome
     [Budget.Budget_exceeded], which becomes [Skip]: a check that ran
     out of budget did not complete, which is not a finding. [budget]
     defaults to [Budget.unlimited]. *)
+
+(** {1 ECO replay}
+
+    [eco-equal]'s body, split so the fuzz driver can re-derive a
+    failing edit sequence from [(seed, index)] and replay or shrink it
+    when writing [.eco] repro files. *)
+
+val eco_edits : rng:Util.Rng.t -> Network.t -> Eco.edit list option
+(** The edit sequence [eco-equal] draws for this specimen — the only
+    rng consumption the oracle performs. [None] when the specimen is
+    unmappable or offers no feasible edit. *)
+
+val eco_replay : budget:Budget.t -> Network.t -> Eco.edit list -> outcome
+(** Full-vs-incremental comparison for a concrete edit sequence
+    (θ = 0.5, band = 0.35, jobs ∈ {1, 2, 4, 8}). *)

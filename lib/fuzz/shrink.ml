@@ -140,3 +140,36 @@ let shrink ?(max_evals = 2000) ~fails spec =
     scan (candidates !cur)
   done;
   (!cur, !evals)
+
+(* Greedy single-removal minimization of an edit (or any) sequence:
+   drop one element at a time, keep the drop iff the failure persists,
+   repeat to fixpoint. Element validity after a removal is the
+   predicate's concern — [fails] must answer [false] for sequences it
+   cannot even apply. *)
+let shrink_edits ?(max_evals = 200) ~fails edits =
+  let evals = ref 0 in
+  let keeps c =
+    if !evals >= max_evals then false
+    else begin
+      incr evals;
+      fails c
+    end
+  in
+  let cur = ref edits in
+  let progress = ref true in
+  while !progress && !evals < max_evals do
+    progress := false;
+    let n = List.length !cur in
+    let rec scan i =
+      if i < n && not !progress then begin
+        let c = List.filteri (fun j _ -> j <> i) !cur in
+        if c <> [] && keeps c then begin
+          cur := c;
+          progress := true
+        end
+        else scan (i + 1)
+      end
+    in
+    scan 0
+  done;
+  (!cur, !evals)

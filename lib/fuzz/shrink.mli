@@ -14,3 +14,11 @@ val shrink : ?max_evals:int -> fails:(Gen.spec -> bool) -> Gen.spec -> Gen.spec 
     evaluations spent. [fails spec] must already hold for the input
     (the shrinker never returns a passing spec). [max_evals] caps the
     total predicate budget (default 2000). *)
+
+val shrink_edits : ?max_evals:int -> fails:('a list -> bool) -> 'a list -> 'a list * int
+(** Greedy single-removal minimization of a sequence (used for
+    [eco-equal] edit lists): drop one element at a time, keep each drop
+    that preserves the failure, to fixpoint. [fails] must answer
+    [false] for sequences it cannot apply — removal can invalidate
+    later elements, and an inapplicable sequence is not a failure.
+    Never returns the empty list. [max_evals] defaults to 200. *)

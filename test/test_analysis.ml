@@ -315,7 +315,19 @@ let test_readme_catalogue () =
         sev;
       check_str (id ^ " level") (Diag.code_level c) level;
       check_str (id ^ " meaning") (Diag.code_meaning c) meaning)
-    Diag.all_codes rows
+    Diag.all_codes rows;
+  (* The incremental-recompute section must document the emask eco CLI
+     (the edit-sequence flag and the full-vs-incremental cross-check). *)
+  let has needle =
+    let n = String.length needle and len = String.length readme in
+    let rec go i = i + n <= len && (String.sub readme i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "incremental recompute section" true
+    (has "## Incremental recompute (`emask eco`)");
+  check "eco --edits documented" true (has "--edits");
+  check "eco --check documented" true (has "--check");
+  check "eco-equal oracle named" true (has "`eco-equal`")
 
 let () =
   Alcotest.run "analysis"

@@ -68,6 +68,58 @@ let test_theta_validation () =
   let code, _, _ = run [ "protect"; fixture "allfalse.blif"; "--theta"; "1.0" ] in
   check_int "--theta 1.0 accepted" 0 code
 
+let test_band_validation () =
+  (* Bad --band must fail exactly like bad --jobs and bad --theta: same
+     exit code, one-line diagnostic naming the offending value. A band
+     of 0 classifies nothing and one above 1 silently clamps, so both
+     are argument errors, not silent near-no-ops. *)
+  let jobs_code, _, jobs_err = run [ "paths"; fixture "allfalse.blif"; "--jobs=0" ] in
+  check "bad --jobs rejected" true (jobs_code <> 0);
+  List.iter
+    (fun bad ->
+      let code, _, err = run [ "paths"; fixture "allfalse.blif"; "--band=" ^ bad ] in
+      check_int (Printf.sprintf "--band %s exits like --jobs 0" bad) jobs_code code;
+      check_int
+        (Printf.sprintf "--band %s stderr shape matches --jobs" bad)
+        (List.length jobs_err) (List.length err);
+      check
+        (Printf.sprintf "--band %s first line is the full diagnostic" bad)
+        true
+        (match err with
+        | line :: _ ->
+            let has needle =
+              let n = String.length needle and len = String.length line in
+              let rec go i = i + n <= len && (String.sub line i n = needle || go (i + 1)) in
+              go 0
+            in
+            has "BAND" && has bad
+        | [] -> false))
+    [ "0"; "-0.5"; "1.5"; "abc" ];
+  (* The closed boundary still parses. *)
+  let code, _, _ = run [ "paths"; fixture "allfalse.blif"; "--band"; "1.0" ] in
+  check_int "--band 1.0 accepted" 0 code
+
+let test_eco_smoke () =
+  (* emask eco with an empty edit sequence is the identity analysis:
+     nothing dirty, and --check confirms incremental = full. *)
+  let edits = Filename.temp_file "emask_edits" ".eco" in
+  let oc = open_out edits in
+  output_string oc "# no edits\n";
+  close_out oc;
+  let code, out, _ =
+    run [ "eco"; fixture "allfalse.blif"; "--edits"; edits; "--check" ]
+  in
+  Sys.remove edits;
+  check_int "eco clean exit" 0 code;
+  let text = String.concat "\n" out in
+  let has needle =
+    let n = String.length needle and len = String.length text in
+    let rec go i = i + n <= len && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "nothing dirty" true (has "dirty cone: 0 of");
+  check "check passes" true (has "canonical forms identical")
+
 let last_line = function [] -> "" | lines -> List.nth lines (List.length lines - 1)
 
 let test_paths_examples () =
@@ -130,6 +182,8 @@ let () =
       ( "emask",
         [
           Alcotest.test_case "theta validation" `Quick test_theta_validation;
+          Alcotest.test_case "band validation" `Quick test_band_validation;
+          Alcotest.test_case "eco smoke" `Quick test_eco_smoke;
           Alcotest.test_case "paths examples" `Quick test_paths_examples;
           Alcotest.test_case "paths jobs identical" `Quick test_paths_jobs_identical;
           Alcotest.test_case "paths diagnostics" `Quick test_paths_diags;

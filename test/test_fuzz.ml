@@ -109,7 +109,7 @@ let test_shrink_budget () =
 
 let test_oracle_catalogue () =
   let names = Fuzz.Oracle.names in
-  check_int "seven oracles" 7 (List.length names);
+  check_int "eight oracles" 8 (List.length names);
   check "names are unique" true
     (List.length (List.sort_uniq compare names) = List.length names);
   List.iter
