@@ -34,28 +34,22 @@ let cli_error code msg =
 
 let guarded f =
   try f () with
-  | Blif.Parse_error msg -> cli_error "BLIF001" msg
-  | Sys_error msg -> cli_error "IO001" msg
-  | Failure msg -> cli_error "CLI001" msg
-  | Invalid_argument msg -> cli_error "CLI002" msg
-  | Budget.Budget_exceeded r ->
-    cli_error "BUDGET001" ("resource budget exhausted: " ^ Budget.reason_to_string r)
+  | Analysis.Lint.Gate_failed msg ->
+    (* Same rendering as the old in-loader gate: a one-line summary
+       without an error code. *)
+    Printf.eprintf "emask: %s\n%!" msg;
+    exit 2
+  | e -> (
+    match Serve_jobs.error_code e with
+    | Some (code, msg) -> cli_error code msg
+    | None -> raise e)
 
 (* Every entry point pre-flights its input with the cheap error-only
    lint subset and exits 2 with a one-line summary instead of failing
-   deep inside BDD construction. *)
-let load_circuit spec =
-  Obs.with_span "load" (fun () ->
-      if Sys.file_exists spec then begin
-        let src = Blif.read_source spec in
-        Analysis.Lint.gate ~what:spec (Analysis.Lint.preflight_source src);
-        Blif.elaborate src
-      end
-      else begin
-        let net = Suite.load spec in
-        Analysis.Lint.gate ~what:spec (Analysis.Lint.preflight net);
-        net
-      end)
+   deep inside BDD construction ([guarded] renders the
+   [Analysis.Lint.Gate_failed] the shared loader raises). *)
+let cli_circuit spec = Serve_client.circuit_of_spec spec
+let load_circuit spec = (Serve_jobs.load_entry (cli_circuit spec)).Serve_jobs.e_net
 
 let circuit_arg =
   let doc = "Benchmark name (see $(b,emask list)) or path to a BLIF file." in
@@ -142,34 +136,14 @@ let budget_term = Term.(const (fun t n -> (t, n)) $ timeout_arg $ max_nodes_arg)
 
 (* Flags take precedence; EMASK_BUDGET_* fills the gaps. *)
 let resolve_budget (timeout, max_nodes) =
-  Budget.merge { Budget.timeout; max_nodes; max_ops = None } (Budget.of_env ())
-
-let pp_reasons attempts =
-  String.concat ", "
-    (List.map
-       (fun (tier, reason) ->
-         Printf.sprintf "%s: %s"
-           (Spcf.Governed.tier_to_string tier)
-           (Budget.reason_to_string reason))
-       attempts)
-
-let report_spcf_degradation (o : Spcf.Governed.outcome) =
-  if o.Spcf.Governed.tier <> Spcf.Governed.Exact then
-    Printf.printf "budget: degraded to %s SPCF (%s); degraded outputs: %s\n"
-      (Spcf.Governed.tier_to_string o.Spcf.Governed.tier)
-      (pp_reasons o.Spcf.Governed.attempts)
-      (String.concat ", "
-         (List.map (fun (n, _, _) -> n) o.Spcf.Governed.result.Spcf.Ctx.outputs))
+  Budget.merge
+    { Budget.timeout; max_nodes; max_ops = None; cancel_with = None }
+    (Budget.of_env ())
 
 let report_synthesis_degradation (m : Masking.Synthesis.t) =
-  if m.Masking.Synthesis.tier <> Spcf.Governed.Exact then
-    Printf.printf "budget: degraded to %s (%s); degraded outputs: %s\n"
-      (Spcf.Governed.tier_to_string m.Masking.Synthesis.tier)
-      (pp_reasons m.Masking.Synthesis.attempts)
-      (String.concat ", "
-         (List.map
-            (fun p -> p.Masking.Synthesis.name)
-            m.Masking.Synthesis.per_output))
+  let buf = Buffer.create 128 in
+  Serve_jobs.report_synthesis_degradation buf m;
+  print_string (Buffer.contents buf)
 
 (* --- instrumentation plumbing ------------------------------------------ *)
 
@@ -231,21 +205,10 @@ let with_obs (stats, json, trace_out, prom) name f =
   Obs_ledger.append ~cmd:name ();
   r
 
-(* Ledger facts about the circuit under analysis. The hash is the digest
-   of the canonical BLIF serialization, so "same circuit, different
-   file name" groups together in [emask report]. *)
-let note_circuit spec net =
-  if Obs_ledger.enabled () then begin
-    Obs_ledger.note "circuit" (Obs_json.String spec);
-    Obs_ledger.note "circuit_sha"
-      (Obs_json.String (Digest.to_hex (Digest.string (Blif.to_string net))))
-  end
-
-let note_run ~theta ~jobs =
-  if Obs_ledger.enabled () then begin
-    Obs_ledger.note "theta" (Obs_json.Float theta);
-    Obs_ledger.note "jobs" (Obs_json.Int jobs)
-  end
+(* The ledger-fact sink handed to the shared job runners: the global
+   note store when a ledger is configured, else nothing. *)
+let cli_note () = if Obs_ledger.enabled () then Some Obs_ledger.note else None
+let note_circuit spec net = Serve_jobs.note_circuit (cli_note ()) spec net
 
 (* --- subcommands -------------------------------------------------------- *)
 
@@ -296,52 +259,19 @@ let lint_run obs spec fail_on json contract theta jobs =
   let code =
     guarded @@ fun () ->
     with_obs obs "lint" @@ fun () ->
-    let source_diags, net =
-      if Sys.file_exists spec then begin
-        match Blif.read_source spec with
-        | src ->
-          let ds = Analysis.Lint.source src in
-          if Analysis.Diag.errors ds = [] then (ds, Some (Blif.elaborate src))
-          else (ds, None)
-        | exception Blif.Parse_error msg ->
-          ([ Analysis.Diag.diag Analysis.Diag.Parse_error msg ], None)
-      end
-      else ([], Some (load_circuit spec))
+    let buf = Buffer.create 1024 in
+    let code =
+      Serve_jobs.run_lint ~note:(cli_note ()) buf (cli_circuit spec)
+        {
+          Serve_jobs.l_fail_on = fail_on;
+          l_json = json;
+          l_contract = contract;
+          l_theta = theta;
+          l_jobs = resolve_jobs jobs;
+        }
     in
-    (match net with Some n -> note_circuit spec n | None -> ());
-    let semantic_diags =
-      match net with
-      | None -> []
-      | Some net ->
-        (* For BLIF files the structural passes already ran on the raw
-           source; only the cover-semantic pass is new. Suite circuits
-           get the full network pipeline. *)
-        let net_ds =
-          if Sys.file_exists spec then Analysis.Passes.net_const_gates net
-          else Analysis.Lint.network net
-        in
-        let mc = Obs.with_span "map" (fun () -> Mapper.map net) in
-        let mapped_ds =
-          Analysis.Passes.mapped_unmapped_gates mc
-          @ Analysis.Passes.sta_consistency mc
-        in
-        let contract_ds =
-          if contract && Analysis.Diag.errors net_ds = [] then begin
-            let options =
-              { Masking.Synthesis.default_options with theta; jobs = resolve_jobs jobs }
-            in
-            let m = Masking.Synthesis.synthesize ~options net in
-            Analysis.Lint.masking m
-          end
-          else []
-        in
-        net_ds @ mapped_ds @ contract_ds
-    in
-    let diags = source_diags @ semantic_diags in
-    if json then
-      print_endline (Obs_json.to_string (Analysis.Diag.report_json ~name:spec diags))
-    else Analysis.Diag.print stdout diags;
-    Analysis.Diag.exit_code ~fail_on diags
+    print_string (Buffer.contents buf);
+    code
   in
   if code <> 0 then exit code
 
@@ -359,40 +289,20 @@ let lint_cmd =
 let spcf_run obs spec theta algo jobs bflags =
   guarded @@ fun () ->
   with_obs obs "spcf" @@ fun () ->
-  let jobs = resolve_jobs jobs in
-  let bspec = resolve_budget bflags in
-  let net = load_circuit spec in
-  note_circuit spec net;
-  note_run ~theta ~jobs;
-  let mc = Obs.with_span "map" (fun () -> Mapper.map net) in
   let algorithm =
     match algo with
     | `Short -> Spcf.Governed.Short_path
     | `Path -> Spcf.Governed.Path_based
     | `Node -> Spcf.Governed.Node_based
   in
-  let o = Spcf.Governed.compute ~jobs ~spec:bspec ~algorithm ~theta mc in
-  let ctx = o.Spcf.Governed.ctx and r = o.Spcf.Governed.result in
-  if Obs_ledger.enabled () then begin
-    Obs_ledger.note "algorithm" (Obs_json.String r.Spcf.Ctx.algorithm);
-    Obs_ledger.note "tier"
-      (Obs_json.String (Spcf.Governed.tier_to_string o.Spcf.Governed.tier));
-    Obs_ledger.note "compute_s" (Obs_json.Float r.Spcf.Ctx.runtime)
-  end;
-  Printf.printf "circuit: %s\n" spec;
-  Printf.printf "gates: %d  area: %.1f  delta: %.3f  target: %.3f\n"
-    (Mapped.gate_count mc) (Mapped.area mc) (Spcf.Ctx.delta ctx) r.Spcf.Ctx.target;
-  Printf.printf "algorithm: %s  runtime: %.3fs\n" r.Spcf.Ctx.algorithm
-    r.Spcf.Ctx.runtime;
-  Printf.printf "critical outputs: %d\n" (Spcf.Ctx.num_critical_outputs r);
-  List.iter
-    (fun (name, _, sigma) ->
-      Printf.printf "  %-16s critical minterms: %s\n" name
-        (Extfloat.to_string (Bdd.satcount ctx.Spcf.Ctx.man sigma)))
-    r.Spcf.Ctx.outputs;
-  Printf.printf "total critical minterms: %s\n"
-    (Extfloat.to_string (Spcf.Ctx.count ctx r));
-  report_spcf_degradation o
+  let buf = Buffer.create 1024 in
+  let (_ : int) =
+    Serve_jobs.run_spcf ~note:(cli_note ()) buf Serve_jobs.load_entry
+      (cli_circuit spec)
+      { Serve_jobs.s_theta = theta; s_algorithm = algorithm; s_jobs = resolve_jobs jobs }
+      (resolve_budget bflags)
+  in
+  print_string (Buffer.contents buf)
 
 let spcf_cmd =
   Cmd.v
@@ -404,36 +314,14 @@ let spcf_cmd =
 let protect_run obs spec theta jobs prune out bflags =
   guarded @@ fun () ->
   with_obs obs "protect" @@ fun () ->
-  let net = load_circuit spec in
-  note_circuit spec net;
-  note_run ~theta ~jobs:(resolve_jobs jobs);
-  let options =
-    {
-      Masking.Synthesis.default_options with
-      theta;
-      jobs = resolve_jobs jobs;
-      prune_false_paths = prune;
-      budget = resolve_budget bflags;
-    }
+  let buf = Buffer.create 1024 in
+  let (_ : int) =
+    Serve_jobs.run_protect ~note:(cli_note ()) ?out buf Serve_jobs.load_entry
+      (cli_circuit spec)
+      { Serve_jobs.m_theta = theta; m_jobs = resolve_jobs jobs; m_prune = prune }
+      (resolve_budget bflags)
   in
-  let m = Masking.Synthesis.synthesize ~options net in
-  if Obs_ledger.enabled () then
-    Obs_ledger.note "tier"
-      (Obs_json.String (Spcf.Governed.tier_to_string m.Masking.Synthesis.tier));
-  let r = Masking.Verify.check m in
-  Format.printf "circuit: %s@." spec;
-  Format.printf "%a@." Masking.Verify.pp r;
-  (match m.Masking.Synthesis.pruned with
-  | [] -> ()
-  | pruned ->
-    Format.printf "pruned false-path outputs: %s@." (String.concat ", " pruned));
-  report_synthesis_degradation m;
-  (match out with
-  | Some path ->
-    Blif.write_file ~model:(Filename.basename path) path
-      (Mapped.network m.Masking.Synthesis.combined);
-    Format.printf "combined circuit written to %s@." path
-  | None -> ())
+  print_string (Buffer.contents buf)
 
 let out_arg =
   let doc = "Write the combined (protected) circuit as BLIF to $(docv)." in
@@ -482,137 +370,25 @@ let max_paths_arg =
     & opt (pos_int_conv "--max-paths") 4096
     & info [ "max-paths" ] ~docv:"N" ~doc)
 
-(* A witness pattern as "a=1 b=0 ..." over the primary-input names. *)
-let pp_witness mnet w =
-  String.concat " "
-    (Array.to_list
-       (Array.mapi
-          (fun i s ->
-            Printf.sprintf "%s=%d" (Network.name_of mnet s)
-              (if w.(i) then 1 else 0))
-          (Network.inputs mnet)))
-
-let paths_json spec mnet (report : Sensitization.report) diags =
-  let open Obs_json in
-  let path_json (c : Sensitization.classified) =
-    let p = c.Sensitization.path in
-    let base =
-      [
-        ("output", String p.Paths.output);
-        ( "signals",
-          List
-            (Array.to_list
-               (Array.map (fun s -> String (Network.name_of mnet s)) p.Paths.signals))
-        );
-        ("length", Float p.Paths.length);
-        ("verdict", String (Sensitization.verdict_name c.Sensitization.verdict));
-      ]
-    in
-    match c.Sensitization.verdict with
-    | Sensitization.True w ->
-      Obj
-        (base
-        @ [
-            ( "witness",
-              Obj
-                (Array.to_list
-                   (Array.mapi
-                      (fun i s -> (Network.name_of mnet s, Bool w.(i)))
-                      (Network.inputs mnet))) );
-          ])
-    | Sensitization.False -> Obj base
-    | Sensitization.Unknown r ->
-      Obj (base @ [ ("reason", String (Budget.reason_to_string r)) ])
-  in
-  let summary_json (s : Sensitization.summary) =
-    Obj
-      [
-        ("output", String s.Sensitization.output);
-        ("paths", Int s.Sensitization.num_paths);
-        ("true", Int s.Sensitization.num_true);
-        ("false", Int s.Sensitization.num_false);
-        ("unknown", Int s.Sensitization.num_unknown);
-        ("topological", Float s.Sensitization.topological);
-        ("functional", Float s.Sensitization.functional);
-      ]
-  in
-  let nt, nf, nu = Sensitization.counts report in
-  Obj
-    [
-      ("circuit", String spec);
-      ("delta", Float report.Sensitization.delta);
-      ("band", Float report.Sensitization.band);
-      ("target", Float report.Sensitization.target);
-      ("truncated", Bool report.Sensitization.truncated);
-      ("functional_delta", Float report.Sensitization.functional_delta);
-      ("paths", List (List.map path_json report.Sensitization.paths));
-      ("outputs", List (List.map summary_json report.Sensitization.summaries));
-      ( "verdicts",
-        Obj [ ("true", Int nt); ("false", Int nf); ("unknown", Int nu) ] );
-      ("diagnostics", List (List.map Analysis.Diag.to_json diags));
-    ]
-
 let paths_run obs spec band max_paths jobs json fail_on bflags =
   let code =
     guarded @@ fun () ->
     with_obs obs "paths" @@ fun () ->
-    let jobs = resolve_jobs jobs in
-    let bspec = resolve_budget bflags in
-    let budget =
-      if Budget.is_no_limits bspec then Budget.unlimited else Budget.instantiate bspec
+    let buf = Buffer.create 1024 in
+    let code =
+      Serve_jobs.run_paths ~note:(cli_note ()) buf Serve_jobs.load_entry
+        (cli_circuit spec)
+        {
+          Serve_jobs.p_band = band;
+          p_max_paths = max_paths;
+          p_jobs = resolve_jobs jobs;
+          p_json = json;
+          p_fail_on = fail_on;
+        }
+        (resolve_budget bflags)
     in
-    let net = load_circuit spec in
-    note_circuit spec net;
-    if Obs_ledger.enabled () then Obs_ledger.note "jobs" (Obs_json.Int jobs);
-    let mc = Obs.with_span "map" (fun () -> Mapper.map net) in
-    let mnet = Mapped.network mc in
-    let report = Sensitization.analyze ~band ~max_paths ~jobs ~budget mc in
-    let diags = Analysis.Passes.sensitization report in
-    let nt, nf, nu = Sensitization.counts report in
-    if json then
-      print_endline (Obs_json.to_string (paths_json spec mnet report diags))
-    else begin
-      Printf.printf "circuit: %s\n" spec;
-      Printf.printf "delta: %.3f  band: %.3f  target: %.3f\n"
-        report.Sensitization.delta report.Sensitization.band
-        report.Sensitization.target;
-      Printf.printf "near-critical paths: %d%s\n"
-        (List.length report.Sensitization.paths)
-        (if report.Sensitization.truncated then
-           "  (truncated: enumeration capped, missed paths unclassified)"
-         else "");
-      List.iter
-        (fun (c : Sensitization.classified) ->
-          let p = c.Sensitization.path in
-          Printf.printf "  %-8s %s: %s%s\n"
-            (Sensitization.verdict_name c.Sensitization.verdict)
-            p.Paths.output
-            (Paths.to_string mnet p)
-            (match c.Sensitization.verdict with
-            | Sensitization.True w -> "  witness " ^ pp_witness mnet w
-            | Sensitization.False -> ""
-            | Sensitization.Unknown r ->
-              "  (" ^ Budget.reason_to_string r ^ ")"))
-        report.Sensitization.paths;
-      List.iter
-        (fun (s : Sensitization.summary) ->
-          if s.Sensitization.num_paths > 0 then
-            Printf.printf
-              "output %-16s paths: %d (%d true, %d false, %d unknown)  arrival: \
-               %.3f  functional: %.3f\n"
-              s.Sensitization.output s.Sensitization.num_paths
-              s.Sensitization.num_true s.Sensitization.num_false
-              s.Sensitization.num_unknown s.Sensitization.topological
-              s.Sensitization.functional)
-        report.Sensitization.summaries;
-      Printf.printf "functional delta: %.3f  (topological %.3f)\n"
-        report.Sensitization.functional_delta report.Sensitization.delta;
-      List.iter
-        (fun d -> Printf.printf "%s\n" (Analysis.Diag.to_string d))
-        (Analysis.Diag.sort diags);
-      Printf.printf "verdicts: %d true, %d false, %d unknown\n" nt nf nu
-    end;
-    Analysis.Diag.exit_code ~fail_on diags
+    print_string (Buffer.contents buf);
+    code
   in
   if code <> 0 then exit code
 
@@ -710,105 +486,27 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let eco_json spec ~edits ~jobs ~check_result (base : Eco.t) (t : Eco.t) =
-  let open Obs_json in
-  let st = t.Eco.stats in
-  Obj
-    ([
-       ("circuit", String spec);
-       ("edits", Int (List.length edits));
-       ("theta", Float t.Eco.theta);
-       ("jobs", Int jobs);
-       ("delta_before", Float base.Eco.delta);
-       ("delta_after", Float t.Eco.delta);
-       ("target", Float t.Eco.target);
-       ("total_signals", Int st.Eco.total_signals);
-       ("dirty_signals", Int st.Eco.dirty_signals);
-       ("funcs_reused", Int st.Eco.funcs_reused);
-       ("funcs_rebuilt", Int st.Eco.funcs_rebuilt);
-       ("sigmas_reused", Int st.Eco.sigmas_reused);
-       ("sigmas_recomputed", Int st.Eco.sigmas_recomputed);
-       ("delta_changed", Bool st.Eco.delta_changed);
-       ( "critical_outputs",
-         List (List.map (fun (n, _, _) -> String n) t.Eco.sigmas) );
-       ("fingerprint", String (Eco.fingerprint t));
-     ]
-    @ (match t.Eco.band with Some b -> [ ("band", Float b) ] | None -> [])
-    @
-    match check_result with
-    | None -> []
-    | Some ok -> [ ("check", String (if ok then "identical" else "DIVERGED")) ])
-
 let eco_run obs spec edits_file theta band jobs json check bflags =
   let code =
     guarded @@ fun () ->
     with_obs obs "eco" @@ fun () ->
-    let jobs = resolve_jobs jobs in
-    let bspec = resolve_budget bflags in
-    let budget =
-      if Budget.is_no_limits bspec then Budget.unlimited else Budget.instantiate bspec
+    let buf = Buffer.create 1024 in
+    let code =
+      Serve_jobs.run_eco ~note:(cli_note ()) buf Serve_jobs.load_entry
+        (cli_circuit spec)
+        {
+          Serve_jobs.c_edits_name = edits_file;
+          c_edits = read_file edits_file;
+          c_theta = theta;
+          c_band = band;
+          c_jobs = resolve_jobs jobs;
+          c_json = json;
+          c_check = check;
+        }
+        (resolve_budget bflags)
     in
-    let net = load_circuit spec in
-    note_circuit spec net;
-    note_run ~theta ~jobs;
-    let mc = Obs.with_span "map" (fun () -> Mapper.map net) in
-    let d0 = Eco.design_of_mapped mc in
-    let edits = Eco.parse_edits d0 (read_file edits_file) in
-    let base =
-      Obs.with_span "eco.baseline" (fun () ->
-          Eco.snapshot ~theta ?band ~jobs ~budget d0)
-    in
-    let t =
-      Obs.with_span "eco.recompute" (fun () -> Eco.recompute ~jobs base edits)
-    in
-    let check_result =
-      if not check then None
-      else
-        Some
-          (Obs.with_span "eco.check" (fun () ->
-               let full = Eco.snapshot ~theta ?band ~jobs ~budget t.Eco.design in
-               Eco.canonical full = Eco.canonical t))
-    in
-    let st = t.Eco.stats in
-    if Obs_ledger.enabled () then begin
-      Obs_ledger.note "edits" (Obs_json.Int (List.length edits));
-      Obs_ledger.note "dirty_signals" (Obs_json.Int st.Eco.dirty_signals)
-    end;
-    if json then
-      print_endline
-        (Obs_json.to_string (eco_json spec ~edits ~jobs ~check_result base t))
-    else begin
-      Printf.printf "circuit: %s\n" spec;
-      Printf.printf "edits: %d  (from %s)\n" (List.length edits) edits_file;
-      Printf.printf "delta: %.3f -> %.3f%s  target: %.3f  (theta %.3f)\n"
-        base.Eco.delta t.Eco.delta
-        (if st.Eco.delta_changed then "  [changed: all targets re-derived]" else "")
-        t.Eco.target theta;
-      Printf.printf "dirty cone: %d of %d signals\n" st.Eco.dirty_signals
-        st.Eco.total_signals;
-      Printf.printf "node functions: %d reused, %d rebuilt\n" st.Eco.funcs_reused
-        st.Eco.funcs_rebuilt;
-      Printf.printf "output SPCFs:   %d reused, %d recomputed\n" st.Eco.sigmas_reused
-        st.Eco.sigmas_recomputed;
-      Printf.printf "critical outputs: %s\n"
-        (match t.Eco.sigmas with
-        | [] -> "(none)"
-        | l -> String.concat ", " (List.map (fun (n, _, _) -> n) l));
-      (match t.Eco.sens with
-      | None -> ()
-      | Some r ->
-        let nt, nf, nu = Sensitization.counts r in
-        Printf.printf "sensitization: %d paths (%d true, %d false, %d unknown)\n"
-          (List.length r.Sensitization.paths)
-          nt nf nu);
-      Printf.printf "fingerprint: %s\n" (Eco.fingerprint t);
-      match check_result with
-      | None -> ()
-      | Some true -> Printf.printf "check: incremental = full recompute (canonical forms identical)\n"
-      | Some false ->
-        Printf.printf "check: DIVERGED — incremental differs from full recompute\n"
-    end;
-    match check_result with Some false -> 1 | _ -> 0
+    print_string (Buffer.contents buf);
+    code
   in
   if code <> 0 then exit code
 
@@ -1119,9 +817,12 @@ let against_arg =
   in
   Arg.(value & opt_all string [] & info [ "against" ] ~docv:"FILE" ~doc)
 
+(* Same converter discipline as --jobs: "--last 0" would silently
+   report on nothing, so it is an argument error, not an empty
+   report. *)
 let last_arg =
   let doc = "Only consider the most recent $(docv) ledger records." in
-  Arg.(value & opt int 50 & info [ "last" ] ~docv:"N" ~doc)
+  Arg.(value & opt (pos_int_conv "--last") 50 & info [ "last" ] ~docv:"N" ~doc)
 
 let report_cmd =
   Cmd.v
@@ -1133,6 +834,222 @@ let report_cmd =
           committed BENCH_*.json baselines")
     Term.(const report_run $ ledger_arg $ against_arg $ last_arg)
 
+(* --- serve / client: masking-as-a-service ------------------------------- *)
+
+let port_conv =
+  let parse str =
+    match int_of_string_opt str with
+    | Some n when n >= 0 && n <= 65535 -> Ok n
+    | Some _ | None ->
+      Error (`Msg (Printf.sprintf "PORT must lie in 0..65535, got %S" str))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let port_arg =
+  let doc = "TCP port to listen on (0 asks the kernel to pick one)." in
+  Arg.(value & opt port_conv 9309 & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+
+let socket_arg =
+  let doc = "Listen on a Unix-domain socket at $(docv) instead of TCP." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let queue_arg =
+  let doc =
+    "Admission-queue bound: a request arriving with $(docv) jobs already queued \
+     is rejected immediately with a QUEUE001 diagnostic, never parked."
+  in
+  Arg.(value & opt (pos_int_conv "--queue") 16 & info [ "queue" ] ~docv:"N" ~doc)
+
+let cache_mb_arg =
+  let doc =
+    "Approximate capacity of the parsed/mapped circuit LRU in MiB (eco baseline \
+     snapshots are cached per circuit, theta and band)."
+  in
+  Arg.(value & opt (pos_int_conv "--cache-mb") 256 & info [ "cache-mb" ] ~docv:"MIB" ~doc)
+
+let serve_ledger_arg =
+  let doc =
+    Printf.sprintf
+      "Append one JSONL record per served request to $(docv) (default: \
+       \\$(b,%s))."
+      Obs_ledger.env_var
+  in
+  Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+
+let verbose_arg =
+  let doc = "Log lifecycle events to stderr." in
+  Arg.(value & flag & info [ "verbose" ] ~doc)
+
+let serve_run port socket jobs queue cache_mb ledger verbose bflags =
+  guarded @@ fun () ->
+  let bind =
+    match socket with
+    | Some path -> Serve.Unix_sock path
+    | None -> Serve.Tcp ("127.0.0.1", port)
+  in
+  let config =
+    {
+      Serve.bind;
+      jobs = resolve_jobs jobs;
+      queue_cap = queue;
+      cache_mb;
+      default_budget = resolve_budget bflags;
+      ledger = (match ledger with Some _ -> ledger | None -> Obs_ledger.path ());
+      verbose;
+    }
+  in
+  Serve.run config
+    ~ready:(fun bound ->
+      match bind with
+      | Serve.Tcp (host, _) -> Printf.printf "listening on %s:%d\n%!" host bound
+      | Serve.Unix_sock path -> Printf.printf "listening on %s\n%!" path)
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent analysis daemon: lint/spcf/paths/protect/eco jobs \
+          over a length-prefixed JSON protocol on a TCP or Unix socket, with a \
+          worker-domain pool, a bounded admission queue, per-request budgets with \
+          disconnect cancellation, a content-addressed circuit LRU, and a \
+          Prometheus /metrics endpoint; responses are byte-identical to the \
+          one-shot CLI")
+    Term.(
+      const serve_run $ port_arg $ socket_arg $ jobs_arg $ queue_arg $ cache_mb_arg
+      $ serve_ledger_arg $ verbose_arg $ budget_term)
+
+(* --- client -------------------------------------------------------------- *)
+
+let job_arg =
+  let doc =
+    "Job to run: $(b,lint), $(b,spcf), $(b,paths), $(b,protect), $(b,eco), \
+     $(b,ping), $(b,metrics) or $(b,shutdown)."
+  in
+  let job_conv =
+    Arg.enum
+      [
+        ("lint", `Lint); ("spcf", `Spcf); ("paths", `Paths); ("protect", `Protect);
+        ("eco", `Eco); ("ping", `Ping); ("metrics", `Metrics);
+        ("shutdown", `Shutdown);
+      ]
+  in
+  Arg.(required & pos 0 (some job_conv) None & info [] ~docv:"JOB" ~doc)
+
+let client_circuit_arg =
+  let doc = "Benchmark name or path to a BLIF file (shipped inline)." in
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let host_arg =
+  let doc = "Daemon host." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let client_edits_arg =
+  let doc = "Edit-sequence file for $(b,eco) jobs (read locally, shipped inline)." in
+  Arg.(value & opt (some string) None & info [ "edits" ] ~docv:"FILE" ~doc)
+
+let client_band_arg =
+  let doc = "Near-critical band for $(b,paths) / $(b,eco) jobs." in
+  Arg.(value & opt (some band_conv) None & info [ "band" ] ~docv:"F" ~doc)
+
+let delay_arg =
+  let doc = "Seconds a $(b,ping) job holds a worker (a test/diagnostic aid)." in
+  Arg.(value & opt float 0. & info [ "delay" ] ~docv:"SEC" ~doc)
+
+let client_run socket host port job spec theta algo band max_paths jobs json
+    contract fail_on prune edits check delay bflags =
+  guarded @@ fun () ->
+  let endpoint =
+    match socket with
+    | Some path -> Serve_client.Unix_sock path
+    | None -> Serve_client.Tcp (host, port)
+  in
+  let circuit () =
+    match spec with
+    | Some sp -> Serve_client.circuit_of_spec sp
+    | None -> cli_error "CLI001" "this job needs a CIRCUIT argument"
+  in
+  let jobs = resolve_jobs jobs in
+  let bspec = resolve_budget bflags in
+  let req =
+    match job with
+    | `Lint ->
+      Serve_protocol.Lint
+        ( circuit (),
+          {
+            Serve_jobs.l_fail_on = fail_on;
+            l_json = json;
+            l_contract = contract;
+            l_theta = theta;
+            l_jobs = jobs;
+          } )
+    | `Spcf ->
+      let algorithm =
+        match algo with
+        | `Short -> Spcf.Governed.Short_path
+        | `Path -> Spcf.Governed.Path_based
+        | `Node -> Spcf.Governed.Node_based
+      in
+      Serve_protocol.Spcf
+        ( circuit (),
+          { Serve_jobs.s_theta = theta; s_algorithm = algorithm; s_jobs = jobs },
+          bspec )
+    | `Paths ->
+      Serve_protocol.Paths
+        ( circuit (),
+          {
+            Serve_jobs.p_band = Option.value ~default:0.1 band;
+            p_max_paths = max_paths;
+            p_jobs = jobs;
+            p_json = json;
+            p_fail_on = fail_on;
+          },
+          bspec )
+    | `Protect ->
+      Serve_protocol.Protect
+        ( circuit (),
+          { Serve_jobs.m_theta = theta; m_jobs = jobs; m_prune = prune },
+          bspec )
+    | `Eco ->
+      let edits_file =
+        match edits with
+        | Some path -> path
+        | None -> cli_error "CLI001" "eco jobs need --edits FILE"
+      in
+      Serve_protocol.Eco
+        ( circuit (),
+          {
+            Serve_jobs.c_edits_name = edits_file;
+            c_edits = read_file edits_file;
+            c_theta = theta;
+            c_band = band;
+            c_jobs = jobs;
+            c_json = json;
+            c_check = check;
+          },
+          bspec )
+    | `Ping -> Serve_protocol.Ping delay
+    | `Metrics -> Serve_protocol.Metrics
+    | `Shutdown -> Serve_protocol.Shutdown
+  in
+  match Serve_client.roundtrip endpoint req with
+  | Serve_protocol.Ok_output (code, output) ->
+    print_string output;
+    if code <> 0 then exit code
+  | Serve_protocol.Rejected (code, msg) | Serve_protocol.Error_resp (code, msg) ->
+    cli_error code msg
+
+let client_cmd =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Run one job against a running $(b,emask serve) daemon; output and exit \
+          code match the equivalent one-shot invocation")
+    Term.(
+      const client_run $ socket_arg $ host_arg $ port_arg $ job_arg
+      $ client_circuit_arg $ theta_arg $ algorithm_arg $ client_band_arg
+      $ max_paths_arg $ jobs_arg $ json_arg $ contract_arg $ fail_on_arg $ prune_arg
+      $ client_edits_arg $ check_arg $ delay_arg $ budget_term)
+
 let () =
   let info =
     Cmd.info "emask" ~version:"1.0.0"
@@ -1143,5 +1060,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; lint_cmd; spcf_cmd; paths_cmd; protect_cmd; eco_cmd;
-            wearout_cmd; trace_cmd; fuzz_cmd; report_cmd;
+            wearout_cmd; trace_cmd; fuzz_cmd; report_cmd; serve_cmd; client_cmd;
           ]))

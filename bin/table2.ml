@@ -83,7 +83,9 @@ let budget_spec () =
   in
   let timeout = scan_opt "--timeout" pos_float "a positive number" in
   let max_nodes = scan_opt "--max-nodes" pos_int "a positive integer" in
-  Budget.merge { Budget.timeout; max_nodes; max_ops = None } (Budget.of_env ())
+  Budget.merge
+    { Budget.timeout; max_nodes; max_ops = None; cancel_with = None }
+    (Budget.of_env ())
 
 let () =
   guarded @@ fun () ->

@@ -34,10 +34,22 @@ let preflight_source src =
 let preflight net =
   Obs.with_span "lint.preflight" @@ fun () -> Diag.errors (Passes.net_no_outputs net)
 
-let gate ~what diags =
+exception Gate_failed of string
+
+(* The raising form of the preflight gate: long-running callers (the
+   serve daemon) must translate a bad circuit into a per-request
+   diagnostic, not a process exit. *)
+let gate_check ~what diags =
   match Diag.errors diags with
   | [] -> ()
   | errs ->
-    Printf.eprintf "emask: %s: %s — run `emask lint` for details\n%!" what
-      (Diag.summary errs);
+    raise
+      (Gate_failed
+         (Printf.sprintf "%s: %s — run `emask lint` for details" what
+            (Diag.summary errs)))
+
+let gate ~what diags =
+  try gate_check ~what diags
+  with Gate_failed msg ->
+    Printf.eprintf "emask: %s\n%!" msg;
     exit 2

@@ -29,7 +29,16 @@ val preflight : Network.t -> Diag.t list
     structural defects are unrepresentable there, so this reduces to
     the no-outputs check). *)
 
+exception Gate_failed of string
+(** A preflight gate tripped; the payload is the one-line summary
+    ("WHAT: SUMMARY — run `emask lint` for details"). *)
+
+val gate_check : what:string -> Diag.t list -> unit
+(** Raise {!Gate_failed} if [diags] contains errors — the form for
+    callers that must survive a bad circuit (the serve daemon turns it
+    into a per-request error response). *)
+
 val gate : what:string -> Diag.t list -> unit
-(** Exit-code policy helper for entry points: if [diags] contains
-    errors, print a one-line summary naming [what] to [stderr] and exit
-    with status 2; otherwise return unit. *)
+(** Exit-code policy helper for CLI entry points: {!gate_check}, but a
+    tripped gate prints the summary to [stderr] and exits with status
+    2. *)

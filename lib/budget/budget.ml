@@ -15,18 +15,43 @@ let reason_to_string = function
   | Ops -> "ops"
   | Cancelled -> "cancelled"
 
-type spec = { timeout : float option; max_nodes : int option; max_ops : int option }
+(* An external cancellation flag: one atomic bool shared between a
+   party that wants to stop work (a server noticing its client hung
+   up) and every budget instance derived from a spec carrying it.
+   Tripping the flag is observed by [tick]/[poll] exactly like an
+   internal [cancel], but survives [renew] — a fallback tier retried
+   after a quota wall must still stop when the requester is gone. *)
+type flag = bool Atomic.t
 
-let no_limits = { timeout = None; max_nodes = None; max_ops = None }
+let flag () = Atomic.make false
+let trip f = Atomic.set f true
+let tripped f = Atomic.get f
 
+type spec = {
+  timeout : float option;
+  max_nodes : int option;
+  max_ops : int option;
+  cancel_with : flag option;
+}
+
+let no_limits =
+  { timeout = None; max_nodes = None; max_ops = None; cancel_with = None }
+
+(* A spec carrying only an external flag is *not* limit-free: callers
+   branch to the ungoverned fast path on [is_no_limits], and that path
+   never polls cancellation. *)
 let is_no_limits s =
-  s.timeout = None && s.max_nodes = None && s.max_ops = None
+  s.timeout = None && s.max_nodes = None && s.max_ops = None && s.cancel_with = None
+
+let cancelled_by f s = { s with cancel_with = Some f }
 
 let merge a b =
   {
     timeout = (match a.timeout with Some _ -> a.timeout | None -> b.timeout);
     max_nodes = (match a.max_nodes with Some _ -> a.max_nodes | None -> b.max_nodes);
     max_ops = (match a.max_ops with Some _ -> a.max_ops | None -> b.max_ops);
+    cancel_with =
+      (match a.cancel_with with Some _ -> a.cancel_with | None -> b.cancel_with);
   }
 
 let env_timeout = "EMASK_BUDGET_TIMEOUT"
@@ -58,6 +83,7 @@ let of_env () =
     timeout = read_env env_timeout pos_float "a positive number of seconds";
     max_nodes = read_env env_max_nodes pos_int "a positive integer";
     max_ops = read_env env_max_ops pos_int "a positive integer";
+    cancel_with = None;
   }
 
 type t = {
@@ -66,6 +92,9 @@ type t = {
   op_quota : int; (* max_int = none *)
   mutable ops : int;
   cancel_flag : bool Atomic.t;
+  pinned_cancel : bool;
+      (* the flag is externally owned (spec.cancel_with): [renew] must
+         keep it instead of allocating a fresh one *)
 }
 
 let unlimited =
@@ -75,6 +104,7 @@ let unlimited =
     op_quota = max_int;
     ops = 0;
     cancel_flag = Atomic.make false;
+    pinned_cancel = false;
   }
 
 (* Instrumentation: every raise is counted, overall and per reason, so
@@ -114,16 +144,23 @@ let instantiate spec =
       node_quota = (match spec.max_nodes with None -> max_int | Some n -> n);
       op_quota = (match spec.max_ops with None -> max_int | Some n -> n);
       ops = 0;
-      cancel_flag = Atomic.make false;
+      cancel_flag =
+        (match spec.cancel_with with Some f -> f | None -> Atomic.make false);
+      pinned_cancel = spec.cancel_with <> None;
     }
   end
 
 let create ?timeout ?max_nodes ?max_ops () =
-  instantiate { timeout; max_nodes; max_ops }
+  instantiate { timeout; max_nodes; max_ops; cancel_with = None }
 
 let renew t =
   if t == unlimited then unlimited
-  else { t with ops = 0; cancel_flag = Atomic.make false }
+  else
+    {
+      t with
+      ops = 0;
+      cancel_flag = (if t.pinned_cancel then t.cancel_flag else Atomic.make false);
+    }
 
 let for_worker t = if t == unlimited then unlimited else { t with ops = 0 }
 
@@ -136,6 +173,7 @@ let spec_of t =
          else Some (Float.max 1e-6 (t.deadline -. Obs.now ())));
       max_nodes = (if t.node_quota = max_int then None else Some t.node_quota);
       max_ops = (if t.op_quota = max_int then None else Some t.op_quota);
+      cancel_with = (if t.pinned_cancel then Some t.cancel_flag else None);
     }
 
 let cancel t = if t != unlimited then Atomic.set t.cancel_flag true

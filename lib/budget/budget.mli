@@ -24,12 +24,31 @@ exception Budget_exceeded of reason
 
 val reason_to_string : reason -> string
 
+(** {1 External cancellation flags} *)
+
+type flag
+(** A shared cancellation handle, decoupled from any one budget
+    instance: a spec carrying a flag produces instances whose
+    cancellation state {e is} the flag, so one {!trip} stops every
+    computation derived from the spec — including fallback tiers
+    restarted with {!renew}, which keeps an externally-owned flag
+    instead of allocating a fresh one. The multi-tenant server uses one
+    flag per request, tripped when the client disconnects. *)
+
+val flag : unit -> flag
+val trip : flag -> unit
+val tripped : flag -> bool
+
 (** {1 Requests} *)
 
 type spec = {
   timeout : float option;  (** wall-clock seconds, [> 0.] *)
   max_nodes : int option;  (** BDD nodes per manager, [> 0] *)
   max_ops : int option;  (** ite calls per instance, [> 0] *)
+  cancel_with : flag option;
+      (** external cancellation: instances poll this flag as their own
+          cancel state. A spec with only a flag is {e not}
+          [is_no_limits] — the ungoverned fast path never polls. *)
 }
 
 val no_limits : spec
@@ -44,6 +63,10 @@ val of_env : unit -> spec
 val merge : spec -> spec -> spec
 (** [merge a b] takes each field from [a] when set, else from [b] —
     command-line flags over environment defaults. *)
+
+val cancelled_by : flag -> spec -> spec
+(** [cancelled_by f s] is [s] with its instances cancellable through
+    [f]. *)
 
 (** {1 Instances} *)
 
@@ -61,7 +84,9 @@ val create : ?timeout:float -> ?max_nodes:int -> ?max_ops:int -> unit -> t
 
 val renew : t -> t
 (** Same deadline and quotas, fresh operation count and a fresh cancel
-    flag — for a fallback tier retried inside the original wall. *)
+    flag — for a fallback tier retried inside the original wall. An
+    externally-owned flag ([spec.cancel_with]) is kept, not refreshed:
+    a disconnected requester must stop the retry too. *)
 
 val for_worker : t -> t
 (** Same deadline and quotas, fresh operation count, but the cancel

@@ -539,6 +539,10 @@ let synthesize ?(options = default_options) net =
     in
     match synthesize_body options ~budget ~tier:Spcf.Governed.Exact ~attempts:[] net with
     | m -> m
+    | exception Budget.Budget_exceeded Budget.Cancelled ->
+      (* Cancellation aborts the ladder (see Spcf.Governed): a tier
+         retried for a requester that is gone is pure waste. *)
+      raise (Budget.Budget_exceeded Budget.Cancelled)
     | exception Budget.Budget_exceeded r1 ->
       let attempts = [ (Spcf.Governed.Exact, r1) ] in
       if options.algorithm = Node_based then
@@ -551,6 +555,8 @@ let synthesize ?(options = default_options) net =
             ~tier:Spcf.Governed.Node_fallback ~attempts net
         with
         | m -> m
+        | exception Budget.Budget_exceeded Budget.Cancelled ->
+          raise (Budget.Budget_exceeded Budget.Cancelled)
         | exception Budget.Budget_exceeded r2 ->
           floor (attempts @ [ (Spcf.Governed.Node_fallback, r2) ])
       end

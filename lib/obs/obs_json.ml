@@ -284,10 +284,31 @@ let snapshot () =
              (Obs.domain_breakdown ())) );
     ]
 
+(* Export files are replaced, never updated in place: the payload goes
+   to a sibling temp file that is renamed over the target only after a
+   clean close. A run that crashes or is budget-killed mid-write
+   leaves the previous artifact intact (or no artifact), never a
+   truncated one — truncated exports used to poison
+   [emask report --against]. *)
+let with_atomic_file path f =
+  let tmp =
+    Filename.temp_file
+      ~temp_dir:(Filename.dirname path)
+      (Filename.basename path ^ ".")
+      ".tmp"
+  in
+  let oc = open_out tmp in
+  match
+    f oc;
+    close_out oc
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
 let write_file path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  with_atomic_file path (fun oc ->
       to_channel oc (snapshot ());
       output_char oc '\n')

@@ -27,5 +27,13 @@ val snapshot : unit -> t
 (** The full registry: span tree (with per-node total/self seconds and
     call counts), counters, histograms. *)
 
+val with_atomic_file : string -> (out_channel -> unit) -> unit
+(** Run the writer against a sibling temp file and rename it over
+    [path] only after a clean close: an exception (or a crash) during
+    the write leaves the previous [path] intact and removes the temp
+    file — no consumer ever sees a partial artifact. Used by every
+    exporter ([--stats-json], [--trace], [--prom]). *)
+
 val write_file : string -> unit
-(** [snapshot] pretty-printed to a file. *)
+(** [snapshot] pretty-printed to a file, atomically
+    ({!with_atomic_file}). *)

@@ -32,8 +32,8 @@ let note key v =
   else notes := !notes @ [ (key, v) ]
 
 (* Epoch seconds -> ISO-8601 UTC, via the standard civil-from-days
-   conversion (no Unix dependency; the ledger must work everywhere the
-   library does). *)
+   conversion (kept free of [Unix.gmtime] so stamps are identical on
+   every libc). *)
 let iso8601 t =
   let days = int_of_float (Float.floor (t /. 86400.)) in
   let secs = int_of_float (t -. (float_of_int days *. 86400.)) in
@@ -51,7 +51,7 @@ let iso8601 t =
   Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" y m d (secs / 3600)
     (secs mod 3600 / 60) (secs mod 60)
 
-let record ~cmd () =
+let record ?notes:ns ~cmd () =
   let ts = realtime_now () in
   Obs_json.Obj
     ([
@@ -62,7 +62,7 @@ let record ~cmd () =
        ("argv", Obs_json.List (List.map (fun a -> Obs_json.String a)
                                  (Array.to_list Sys.argv)));
      ]
-    @ !notes
+    @ (match ns with Some l -> l | None -> !notes)
     @ [
         ( "counters",
           Obs_json.Obj
@@ -70,22 +70,36 @@ let record ~cmd () =
         );
       ])
 
+(* The whole line goes to the kernel in one [Unix.single_write] on an
+   O_APPEND descriptor: concurrent writers — worker domains of a
+   server, or independent processes sharing one EMASK_LEDGER — each
+   land a complete record at the (atomically repositioned) end of the
+   file, so every ledger line parses. The old buffered-channel path
+   flushed in chunks, which interleaved partial lines under exactly
+   that load. POSIX only guarantees the single-shot atomicity for one
+   write; the completion loop below is a last resort for short writes
+   (ENOSPC territory), not the expected path. *)
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref (Unix.single_write fd b 0 n) in
+  while !off < n do
+    off := !off + Unix.single_write fd b !off (n - !off)
+  done
+
 (* Append is best-effort by design: a read-only filesystem or a bad
    EMASK_LEDGER path must not fail the run it is trying to describe. *)
-let append ?path:p ~cmd () =
+let append ?path:p ?notes:ns ~cmd () =
   match (match p with Some _ -> p | None -> path ()) with
   | None -> ()
   | Some file -> (
-    let line = Obs_json.to_string (record ~cmd ()) in
-    notes := [];
-    match open_out_gen [ Open_append; Open_creat ] 0o644 file with
-    | oc ->
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          output_string oc line;
-          output_char oc '\n')
-    | exception Sys_error msg -> Printf.eprintf "emask: ledger: %s\n%!" msg)
+    let line = Obs_json.to_string (record ?notes:ns ~cmd ()) ^ "\n" in
+    if ns = None then notes := [];
+    match Unix.openfile file [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 with
+    | fd ->
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> write_all fd line)
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "emask: ledger: %s: %s\n%!" file (Unix.error_message e))
 
 let read_file file =
   match open_in file with

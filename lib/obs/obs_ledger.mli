@@ -28,14 +28,21 @@ val note : string -> Obs_json.t -> unit
     [runtime_s], ...). Last value per key wins; order of first notes is
     preserved in the record. Cheap, works with the ledger disabled. *)
 
-val record : cmd:string -> unit -> Obs_json.t
-(** The record that {!append} would write, for tests and embedding. *)
+val record : ?notes:(string * Obs_json.t) list -> cmd:string -> unit -> Obs_json.t
+(** The record that {!append} would write, for tests and embedding.
+    With [?notes] the given facts are embedded instead of (and without
+    touching) the process-global note store — the thread-safe path for
+    concurrent writers such as server worker domains. *)
 
-val append : ?path:string -> cmd:string -> unit -> unit
-(** Append one record (and clear the notes) to [path], defaulting to
-    the [EMASK_LEDGER] file; no-op when neither is set. IO failures are
-    reported on stderr but never raise — the ledger must not fail the
-    run it describes. *)
+val append :
+  ?path:string -> ?notes:(string * Obs_json.t) list -> cmd:string -> unit -> unit
+(** Append one record to [path], defaulting to the [EMASK_LEDGER]
+    file; no-op when neither is set. Without [?notes] the global note
+    store is consumed and cleared. The rendered line is written with a
+    single [Unix.single_write] on an [O_APPEND] descriptor, so records
+    from concurrent domains or processes never interleave — every
+    ledger line parses. IO failures are reported on stderr but never
+    raise — the ledger must not fail the run it describes. *)
 
 val read_file : string -> (Obs_json.t list, string) result
 (** Parse a ledger file: one JSON value per non-blank line. *)

@@ -90,6 +90,13 @@ let render () =
   add_spans buf (Obs.root ());
   Buffer.contents buf
 
+(* Plain (name, value) gauges in the same exposition dialect — for
+   metric sources that live outside the per-domain Obs registry, such
+   as the serve daemon's process-wide atomic counters. *)
+let exposition counters =
+  let buf = Buffer.create 256 in
+  List.iter (add_counter buf) counters;
+  Buffer.contents buf
+
 let write_file path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render ()))
+  Obs_json.with_atomic_file path (fun oc -> output_string oc (render ()))

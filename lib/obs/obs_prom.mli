@@ -6,9 +6,16 @@
     bounds ([le = 2^i - 1], integers) are exact, and the span tree
     flattened into [emask_span_seconds]/[emask_span_calls] families
     labelled by the '/'-joined span path. This is the payload the
-    future [emask serve] daemon's /metrics endpoint will emit. *)
+    [emask serve] daemon's /metrics endpoint emits. *)
 
 val render : unit -> string
 
+val exposition : (string * int) list -> string
+(** Render plain [(name, value)] pairs as [emask_]-prefixed gauges in
+    the same dialect — for metric sources outside the per-domain Obs
+    registry (the serve daemon's process-wide atomic counters). The
+    /metrics endpoint serves [render () ^ exposition serve_counters]. *)
+
 val write_file : string -> unit
-(** [render] to a file (for `--prom FILE` and file-based scrapers). *)
+(** [render] to a file (for `--prom FILE` and file-based scrapers),
+    atomically ([Obs_json.with_atomic_file]). *)

@@ -64,9 +64,6 @@ let render () =
     ]
 
 let write_file path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Obs_json.with_atomic_file path (fun oc ->
       Obs_json.to_channel oc (render ());
       output_char oc '\n')

@@ -1,0 +1,36 @@
+(** The [emask serve] daemon: masking analysis as a persistent
+    service.
+
+    One accept loop (the calling thread) admits connections to a
+    bounded queue drained by a pool of worker domains; a full queue is
+    answered with a structured rejection at accept time. Each running
+    job owns a per-request {!Budget.flag} that a watcher thread trips
+    on client disconnect — cancellation is cooperative, surfacing as
+    [Budget_exceeded Cancelled] at the job's next budget poll. Results
+    are rendered by the same {!Serve_jobs} runners the one-shot CLI
+    uses, so responses are byte-identical to CLI output. A connection
+    whose first bytes are ["GET "] is served as a plain-HTTP
+    [/metrics] scrape ({!Obs_prom} exposition of the
+    {!Serve_metrics} counters). *)
+
+type bind = Unix_sock of string | Tcp of string * int
+
+type config = {
+  bind : bind;
+  jobs : int;  (** worker domains *)
+  queue_cap : int;  (** bounded admission queue *)
+  cache_mb : int;  (** circuit LRU capacity *)
+  default_budget : Budget.spec;
+      (** merged under every request's own budget (request wins) *)
+  ledger : string option;  (** per-request JSONL records, appended here *)
+  verbose : bool;
+}
+
+val default_config : config
+(** TCP on 127.0.0.1:9309, 2 workers, queue 16, 256 MiB cache, no
+    budget, no ledger. *)
+
+val run : ?ready:(int -> unit) -> config -> unit
+(** Serve until a [shutdown] request. [ready] fires once the socket is
+    listening, with the bound TCP port (0 for Unix sockets) — port 0
+    in the config asks the kernel to pick one. *)

@@ -1,0 +1,41 @@
+(* Process-wide serve-daemon counters.
+
+   The Obs registry is per-domain by design (counters merge at domain
+   join), which is the wrong shape for a daemon whose workers never
+   join while /metrics is being scraped. These are plain atomics,
+   incremented from any domain and read exactly once per scrape. *)
+
+type t = {
+  name : string;
+  cell : int Atomic.t;
+}
+
+let registry : t list ref = ref []
+
+let make name =
+  let c = { name; cell = Atomic.make 0 } in
+  registry := c :: !registry;
+  c
+
+(* Registration order is reporting order (the list is built in reverse). *)
+let requests = make "serve.requests"
+let accepted = make "serve.accepted"
+let rejected_queue = make "serve.rejected.queue"
+let rejected_proto = make "serve.rejected.proto"
+let errors = make "serve.errors"
+let budget_exhausted = make "serve.budget_exhausted"
+let cancelled = make "serve.cancelled"
+let cache_hits = make "serve.cache.hits"
+let cache_misses = make "serve.cache.misses"
+let cache_evictions = make "serve.cache.evictions"
+let snap_hits = make "serve.cache.snap_hits"
+let snap_misses = make "serve.cache.snap_misses"
+
+let incr c = Atomic.incr c.cell
+let add c n = ignore (Atomic.fetch_and_add c.cell n)
+let get c = Atomic.get c.cell
+
+let snapshot () = List.rev_map (fun c -> (c.name, Atomic.get c.cell)) !registry
+
+(* Tests restart the counters between scenarios within one process. *)
+let reset () = List.iter (fun c -> Atomic.set c.cell 0) !registry

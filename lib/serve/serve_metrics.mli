@@ -1,0 +1,46 @@
+(** Process-wide counters for the [emask serve] daemon.
+
+    Unlike the per-domain Obs registry (which merges at domain join),
+    these are plain atomics shared by every worker domain and the
+    accept loop, so a /metrics scrape sees live values. They render
+    through {!Obs_prom.exposition}. *)
+
+type t
+
+val requests : t  (** frames that parsed far enough to carry a job *)
+
+val accepted : t  (** jobs admitted to the queue *)
+
+val rejected_queue : t  (** jobs refused because the queue was full *)
+
+val rejected_proto : t  (** malformed or invalid-parameter requests *)
+
+val errors : t  (** jobs that failed with a classified error *)
+
+val budget_exhausted : t  (** jobs aborted by their resource budget *)
+
+val cancelled : t  (** jobs aborted because the client disconnected *)
+
+val cache_hits : t
+(** circuit served from the LRU without re-parse / re-map *)
+
+val cache_misses : t
+
+val cache_evictions : t
+
+val snap_hits : t  (** eco baseline snapshots reused from the cache *)
+
+val snap_misses : t
+
+val incr : t -> unit
+
+val add : t -> int -> unit
+
+val get : t -> int
+
+val snapshot : unit -> (string * int) list
+(** All counters in registration order, for
+    [Obs_prom.exposition (snapshot ())]. *)
+
+val reset : unit -> unit
+(** Zero every counter (test isolation within one process). *)

@@ -1,0 +1,358 @@
+(* Wire protocol for [emask serve]: one request, one response, one
+   connection.
+
+   A frame is a 4-byte big-endian length prefix followed by that many
+   bytes of JSON. The length cap is a denial-of-service guard, not a
+   real circuit-size limit (a 64 MiB BLIF is well past what the
+   analyses handle interactively anyway).
+
+   Requests:
+     {"job": "lint"|"spcf"|"paths"|"protect"|"eco"|"ping"|"metrics"
+             |"shutdown",
+      "circuit": NAME, "source": BLIF-TEXT?, ...job parameters...}
+
+   Responses:
+     {"status": "ok", "exit": N, "output": S}
+     {"status": "rejected"|"error", "code": C, "message": M}
+
+   The parameter vocabulary deliberately mirrors the CLI flags
+   (theta, band, jobs, json, contract, fail_on, max_paths, edits,
+   check, timeout, max_nodes), including their validation: the daemon
+   enforces the same domains the cmdliner converters do, so a request
+   no CLI invocation could express is rejected, not silently
+   interpreted. *)
+
+exception Protocol_error of string
+
+let max_frame = 64 * 1024 * 1024
+
+(* --- framing ------------------------------------------------------------- *)
+
+let really_read fd buf off len =
+  let got = ref 0 in
+  while !got < len do
+    match Unix.read fd buf (off + !got) (len - !got) with
+    | 0 -> raise (Protocol_error "connection closed mid-frame")
+    | n -> got := !got + n
+  done
+
+let really_write fd buf off len =
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write fd buf (off + !sent) (len - !sent)
+  done
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  (match Unix.read fd hdr 0 4 with
+  | 0 -> raise (Protocol_error "connection closed before frame")
+  | n -> if n < 4 then really_read fd hdr n (4 - n));
+  let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+  if len < 0 || len > max_frame then
+    raise (Protocol_error (Printf.sprintf "frame length %d out of range" len));
+  let body = Bytes.create len in
+  really_read fd body 0 len;
+  Bytes.unsafe_to_string body
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then
+    raise (Protocol_error (Printf.sprintf "frame length %d out of range" len));
+  let msg = Bytes.create (4 + len) in
+  Bytes.set_int32_be msg 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 msg 4 len;
+  really_write fd msg 0 (4 + len)
+
+(* --- requests ------------------------------------------------------------ *)
+
+type request =
+  | Lint of Serve_jobs.circuit * Serve_jobs.lint_req
+  | Spcf of Serve_jobs.circuit * Serve_jobs.spcf_req * Budget.spec
+  | Paths of Serve_jobs.circuit * Serve_jobs.paths_req * Budget.spec
+  | Protect of Serve_jobs.circuit * Serve_jobs.protect_req * Budget.spec
+  | Eco of Serve_jobs.circuit * Serve_jobs.eco_req * Budget.spec
+  | Ping of float  (** hold a worker for [delay] seconds, polling its budget *)
+  | Metrics
+  | Shutdown
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+
+let obj_string key j =
+  match Obs_json.member key j with
+  | Some (Obs_json.String s) -> Some s
+  | Some _ -> bad "%S must be a string" key
+  | None -> None
+
+let obj_bool key j =
+  match Obs_json.member key j with
+  | Some (Obs_json.Bool b) -> b
+  | Some _ -> bad "%S must be a boolean" key
+  | None -> false
+
+let obj_number key j =
+  match Obs_json.member key j with
+  | Some (Obs_json.Float f) -> Some f
+  | Some (Obs_json.Int i) -> Some (float_of_int i)
+  | Some _ -> bad "%S must be a number" key
+  | None -> None
+
+(* The same domains the CLI converters enforce, with the same
+   one-line message shapes. *)
+let unit_interval key j ~default =
+  match obj_number key j with
+  | None -> default
+  | Some v ->
+    if v > 0. && v <= 1. then v
+    else bad "%S must lie in (0, 1], got %g" key v
+
+let pos_int key j ~default =
+  match Obs_json.member key j with
+  | None -> default
+  | Some (Obs_json.Int n) when n >= 1 -> n
+  | Some _ -> bad "%S must be a positive integer" key
+
+let pos_float_opt key j =
+  match obj_number key j with
+  | None -> None
+  | Some v ->
+    if v > 0. && v < infinity then Some v
+    else bad "%S must be a positive number, got %g" key v
+
+let circuit_of j =
+  match obj_string "circuit" j with
+  | None -> bad "missing \"circuit\""
+  | Some spec -> { Serve_jobs.spec; source = obj_string "source" j }
+
+let budget_of j =
+  {
+    Budget.timeout = pos_float_opt "timeout" j;
+    max_nodes =
+      (match Obs_json.member "max_nodes" j with
+      | None -> None
+      | Some (Obs_json.Int n) when n >= 1 -> Some n
+      | Some _ -> bad "\"max_nodes\" must be a positive integer");
+    max_ops = None;
+    cancel_with = None;
+  }
+
+let fail_on_of j =
+  match obj_string "fail_on" j with
+  | None | Some "error" -> Analysis.Diag.Error
+  | Some "warning" -> Analysis.Diag.Warning
+  | Some s -> bad "\"fail_on\" must be \"error\" or \"warning\", got %S" s
+
+let algorithm_of j =
+  match obj_string "algorithm" j with
+  | None | Some "short" -> Spcf.Governed.Short_path
+  | Some "path" -> Spcf.Governed.Path_based
+  | Some "node" -> Spcf.Governed.Node_based
+  | Some s -> bad "\"algorithm\" must be short, path or node, got %S" s
+
+let request_of_json j =
+  match obj_string "job" j with
+  | None -> bad "missing \"job\""
+  | Some "lint" ->
+    Lint
+      ( circuit_of j,
+        {
+          Serve_jobs.l_fail_on = fail_on_of j;
+          l_json = obj_bool "json" j;
+          l_contract = obj_bool "contract" j;
+          l_theta = unit_interval "theta" j ~default:0.9;
+          l_jobs = pos_int "jobs" j ~default:1;
+        } )
+  | Some "spcf" ->
+    Spcf
+      ( circuit_of j,
+        {
+          Serve_jobs.s_theta = unit_interval "theta" j ~default:0.9;
+          s_algorithm = algorithm_of j;
+          s_jobs = pos_int "jobs" j ~default:1;
+        },
+        budget_of j )
+  | Some "paths" ->
+    Paths
+      ( circuit_of j,
+        {
+          Serve_jobs.p_band = unit_interval "band" j ~default:0.1;
+          p_max_paths = pos_int "max_paths" j ~default:4096;
+          p_jobs = pos_int "jobs" j ~default:1;
+          p_json = obj_bool "json" j;
+          p_fail_on = fail_on_of j;
+        },
+        budget_of j )
+  | Some "protect" ->
+    Protect
+      ( circuit_of j,
+        {
+          Serve_jobs.m_theta = unit_interval "theta" j ~default:0.9;
+          m_jobs = pos_int "jobs" j ~default:1;
+          m_prune = obj_bool "prune_false_paths" j;
+        },
+        budget_of j )
+  | Some "eco" ->
+    let edits =
+      match obj_string "edits" j with
+      | Some e -> e
+      | None -> bad "missing \"edits\""
+    in
+    Eco
+      ( circuit_of j,
+        {
+          Serve_jobs.c_edits_name =
+            Option.value ~default:"<request>" (obj_string "edits_name" j);
+          c_edits = edits;
+          c_theta = unit_interval "theta" j ~default:0.9;
+          c_band =
+            (match Obs_json.member "band" j with
+            | None -> None
+            | Some _ -> Some (unit_interval "band" j ~default:0.1));
+          c_jobs = pos_int "jobs" j ~default:1;
+          c_json = obj_bool "json" j;
+          c_check = obj_bool "check" j;
+        },
+        budget_of j )
+  | Some "ping" ->
+    Ping (match obj_number "delay" j with None -> 0. | Some d -> Float.max 0. d)
+  | Some "metrics" -> Metrics
+  | Some "shutdown" -> Shutdown
+  | Some job -> bad "unknown job %S" job
+
+let parse_request payload =
+  match Obs_json.of_string payload with
+  | Error e -> bad "request is not JSON: %s" e
+  | Ok j -> request_of_json j
+
+let json_of_circuit (c : Serve_jobs.circuit) =
+  ("circuit", Obs_json.String c.Serve_jobs.spec)
+  ::
+  (match c.Serve_jobs.source with
+  | Some s -> [ ("source", Obs_json.String s) ]
+  | None -> [])
+
+let json_of_budget (b : Budget.spec) =
+  (match b.Budget.timeout with
+  | Some t -> [ ("timeout", Obs_json.Float t) ]
+  | None -> [])
+  @
+  match b.Budget.max_nodes with
+  | Some n -> [ ("max_nodes", Obs_json.Int n) ]
+  | None -> []
+
+let string_of_fail_on = function
+  | Analysis.Diag.Error -> "error"
+  | Analysis.Diag.Warning -> "warning"
+  | Analysis.Diag.Info -> "info"
+
+let json_of_request r =
+  let open Obs_json in
+  let fields =
+    match r with
+    | Lint (c, l) ->
+      (("job", String "lint") :: json_of_circuit c)
+      @ [
+          ( "fail_on",
+            String (string_of_fail_on l.Serve_jobs.l_fail_on) );
+          ("json", Bool l.Serve_jobs.l_json);
+          ("contract", Bool l.Serve_jobs.l_contract);
+          ("theta", Float l.Serve_jobs.l_theta);
+          ("jobs", Int l.Serve_jobs.l_jobs);
+        ]
+    | Spcf (c, s, b) ->
+      (("job", String "spcf") :: json_of_circuit c)
+      @ [
+          ("theta", Float s.Serve_jobs.s_theta);
+          ( "algorithm",
+            String
+              (match s.Serve_jobs.s_algorithm with
+              | Spcf.Governed.Short_path -> "short"
+              | Spcf.Governed.Path_based -> "path"
+              | Spcf.Governed.Node_based -> "node") );
+          ("jobs", Int s.Serve_jobs.s_jobs);
+        ]
+      @ json_of_budget b
+    | Paths (c, p, b) ->
+      (("job", String "paths") :: json_of_circuit c)
+      @ [
+          ("band", Float p.Serve_jobs.p_band);
+          ("max_paths", Int p.Serve_jobs.p_max_paths);
+          ("jobs", Int p.Serve_jobs.p_jobs);
+          ("json", Bool p.Serve_jobs.p_json);
+          ( "fail_on",
+            String (string_of_fail_on p.Serve_jobs.p_fail_on) );
+        ]
+      @ json_of_budget b
+    | Protect (c, m, b) ->
+      (("job", String "protect") :: json_of_circuit c)
+      @ [
+          ("theta", Float m.Serve_jobs.m_theta);
+          ("jobs", Int m.Serve_jobs.m_jobs);
+          ("prune_false_paths", Bool m.Serve_jobs.m_prune);
+        ]
+      @ json_of_budget b
+    | Eco (c, e, b) ->
+      (("job", String "eco") :: json_of_circuit c)
+      @ [
+          ("edits", String e.Serve_jobs.c_edits);
+          ("edits_name", String e.Serve_jobs.c_edits_name);
+          ("theta", Float e.Serve_jobs.c_theta);
+        ]
+      @ (match e.Serve_jobs.c_band with
+        | Some b -> [ ("band", Float b) ]
+        | None -> [])
+      @ [
+          ("jobs", Int e.Serve_jobs.c_jobs);
+          ("json", Bool e.Serve_jobs.c_json);
+          ("check", Bool e.Serve_jobs.c_check);
+        ]
+      @ json_of_budget b
+    | Ping d -> [ ("job", String "ping"); ("delay", Float d) ]
+    | Metrics -> [ ("job", String "metrics") ]
+    | Shutdown -> [ ("job", String "shutdown") ]
+  in
+  Obj fields
+
+(* --- responses ----------------------------------------------------------- *)
+
+type response =
+  | Ok_output of int * string  (** exit code, rendered output *)
+  | Rejected of string * string  (** code, message — admission refusals *)
+  | Error_resp of string * string  (** code, message — job failures *)
+
+let json_of_response =
+  let open Obs_json in
+  function
+  | Ok_output (exit, output) ->
+    Obj [ ("status", String "ok"); ("exit", Int exit); ("output", String output) ]
+  | Rejected (code, message) ->
+    Obj
+      [
+        ("status", String "rejected");
+        ("code", String code);
+        ("message", String message);
+      ]
+  | Error_resp (code, message) ->
+    Obj
+      [ ("status", String "error"); ("code", String code); ("message", String message) ]
+
+let response_of_json j =
+  match obj_string "status" j with
+  | Some "ok" -> (
+    match (Obs_json.member "exit" j, obj_string "output" j) with
+    | Some (Obs_json.Int e), Some out -> Ok_output (e, out)
+    | _ -> bad "malformed ok response")
+  | Some (("rejected" | "error") as st) -> (
+    match (obj_string "code" j, obj_string "message" j) with
+    | Some c, Some m -> if st = "rejected" then Rejected (c, m) else Error_resp (c, m)
+    | _ -> bad "malformed %s response" st)
+  | _ -> bad "malformed response"
+
+let parse_response payload =
+  match Obs_json.of_string payload with
+  | Error e -> bad "response is not JSON: %s" e
+  | Ok j -> response_of_json j
+
+let send fd v = write_frame fd (Obs_json.to_string v)
+let send_response fd r = send fd (json_of_response r)
+let send_request fd r = send fd (json_of_request r)
+let recv_response fd = parse_response (read_frame fd)

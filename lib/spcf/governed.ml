@@ -115,6 +115,11 @@ let compute ?jobs ?(model = Sta.Library) ?(spec = Budget.no_limits) ~algorithm ~
     let budget = Budget.instantiate spec in
     match run_tier ?jobs ~model ~budget ~theta algorithm circuit with
     | pair -> finish ~tier:Exact ~attempts:[] pair
+    | exception Budget.Budget_exceeded Budget.Cancelled ->
+      (* Cancellation is not exhaustion: nobody wants the result, so
+         degrading to a cheaper tier would waste exactly the work the
+         cancel was meant to stop. Abort instead. *)
+      raise (Budget.Budget_exceeded Budget.Cancelled)
     | exception Budget.Budget_exceeded r1 ->
       let attempts = [ (Exact, r1) ] in
       if algorithm = Node_based then
@@ -126,6 +131,8 @@ let compute ?jobs ?(model = Sta.Library) ?(spec = Budget.no_limits) ~algorithm ~
           run_tier ~model ~budget:(Budget.renew budget) ~theta Node_based circuit
         with
         | pair -> finish ~tier:Node_fallback ~attempts pair
+        | exception Budget.Budget_exceeded Budget.Cancelled ->
+          raise (Budget.Budget_exceeded Budget.Cancelled)
         | exception Budget.Budget_exceeded r2 ->
           floor_tier ~model ~theta ~attempts:(attempts @ [ (Node_fallback, r2) ])
             circuit

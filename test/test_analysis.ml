@@ -327,7 +327,15 @@ let test_readme_catalogue () =
     (has "## Incremental recompute (`emask eco`)");
   check "eco --edits documented" true (has "--edits");
   check "eco --check documented" true (has "--check");
-  check "eco-equal oracle named" true (has "`eco-equal`")
+  check "eco-equal oracle named" true (has "`eco-equal`");
+  (* The serving section must document the daemon, its byte-identity
+     contract with the one-shot CLI, and the saturation diagnostics. *)
+  check "serving section" true (has "## Serving (`emask serve`)");
+  check "byte-identity contract stated" true (has "byte-identical output");
+  check "client subcommand documented" true (has "emask client");
+  check "metrics endpoint documented" true (has "/metrics");
+  check "queue rejection code documented" true (has "QUEUE001");
+  check "cache flag documented" true (has "--cache-mb")
 
 let () =
   Alcotest.run "analysis"

@@ -13,8 +13,14 @@ let raises_invalid f =
 (* ---------- specs: merge, environment, instances ---------- *)
 
 let test_spec_merge () =
-  let a = { Budget.timeout = Some 1.; max_nodes = None; max_ops = Some 5 } in
-  let b = { Budget.timeout = Some 9.; max_nodes = Some 7; max_ops = None } in
+  let a =
+    { Budget.timeout = Some 1.; max_nodes = None; max_ops = Some 5;
+      cancel_with = None }
+  in
+  let b =
+    { Budget.timeout = Some 9.; max_nodes = Some 7; max_ops = None;
+      cancel_with = None }
+  in
   let m = Budget.merge a b in
   check "timeout from a" true (m.Budget.timeout = Some 1.);
   check "nodes fill from b" true (m.Budget.max_nodes = Some 7);
@@ -221,6 +227,7 @@ let test_synthesis_generous_budget_identical () =
           Budget.timeout = Some 3600.;
           max_nodes = Some 100_000_000;
           max_ops = Some 1_000_000_000;
+          cancel_with = None;
         };
     }
   in

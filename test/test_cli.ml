@@ -99,6 +99,36 @@ let test_band_validation () =
   let code, _, _ = run [ "paths"; fixture "allfalse.blif"; "--band"; "1.0" ] in
   check_int "--band 1.0 accepted" 0 code
 
+let test_last_validation () =
+  (* emask report --last 0 (or negative) would silently report on
+     nothing; it must fail exactly like bad --jobs: same exit code,
+     one-line diagnostic naming the offending value. *)
+  let jobs_code, _, jobs_err = run [ "paths"; fixture "allfalse.blif"; "--jobs=0" ] in
+  check "bad --jobs rejected" true (jobs_code <> 0);
+  List.iter
+    (fun bad ->
+      let code, _, err = run [ "report"; "--ledger"; "/dev/null"; "--last=" ^ bad ] in
+      check_int (Printf.sprintf "--last %s exits like --jobs 0" bad) jobs_code code;
+      check_int
+        (Printf.sprintf "--last %s stderr shape matches --jobs" bad)
+        (List.length jobs_err) (List.length err);
+      check
+        (Printf.sprintf "--last %s first line is the full diagnostic" bad)
+        true
+        (match err with
+        | line :: _ ->
+            let has needle =
+              let n = String.length needle and len = String.length line in
+              let rec go i = i + n <= len && (String.sub line i n = needle || go (i + 1)) in
+              go 0
+            in
+            has "--last" && has bad
+        | [] -> false))
+    [ "0"; "-3"; "abc" ];
+  (* The smallest sensible value still parses (an empty ledger is fine). *)
+  let code, _, _ = run [ "report"; "--ledger"; "/dev/null"; "--last"; "1" ] in
+  check_int "--last 1 accepted" 0 code
+
 let test_eco_smoke () =
   (* emask eco with an empty edit sequence is the identity analysis:
      nothing dirty, and --check confirms incremental = full. *)
@@ -183,6 +213,7 @@ let () =
         [
           Alcotest.test_case "theta validation" `Quick test_theta_validation;
           Alcotest.test_case "band validation" `Quick test_band_validation;
+          Alcotest.test_case "last validation" `Quick test_last_validation;
           Alcotest.test_case "eco smoke" `Quick test_eco_smoke;
           Alcotest.test_case "paths examples" `Quick test_paths_examples;
           Alcotest.test_case "paths jobs identical" `Quick test_paths_jobs_identical;

@@ -427,6 +427,78 @@ let test_ledger_roundtrip () =
       (Obs_json.member "circuit" r2 = Some (Obs_json.String "i1"))
   | Ok rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs)
 
+let test_ledger_concurrent_appends () =
+  (* Satellite of the serve daemon: many domains appending to one
+     ledger file must never interleave partial lines — every line
+     parses, and every record survives. Uses the explicit-notes path
+     (the thread-safe one worker domains use); each record carries a
+     writer/sequence tag so completeness is checkable, not just
+     line-level well-formedness. *)
+  let path = Filename.temp_file "emask-ledger" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let writers = 4 and per_writer = 50 in
+  let work w () =
+    for i = 0 to per_writer - 1 do
+      Obs_ledger.append ~path
+        ~notes:
+          [
+            ("writer", Obs_json.Int w);
+            ("seq", Obs_json.Int i);
+            (* Bulk pushes the rendered line well past any buffered-IO
+               chunk a partial write would hide behind. *)
+            ("bulk", Obs_json.String (String.make 2048 'x'));
+          ]
+        ~cmd:"hammer" ()
+    done
+  in
+  let domains = Array.init writers (fun w -> Domain.spawn (work w)) in
+  Array.iter Domain.join domains;
+  match Obs_ledger.read_file path with
+  | Error e -> Alcotest.failf "a ledger line failed to parse: %s" e
+  | Ok records ->
+    Alcotest.(check int)
+      "every record survived" (writers * per_writer) (List.length records);
+    let seen = Hashtbl.create 256 in
+    List.iter
+      (fun r ->
+        match (Obs_json.member "writer" r, Obs_json.member "seq" r) with
+        | Some (Obs_json.Int w), Some (Obs_json.Int i) -> Hashtbl.replace seen (w, i) ()
+        | _ -> Alcotest.fail "record lost its notes")
+      records;
+    Alcotest.(check int)
+      "no record duplicated or torn" (writers * per_writer) (Hashtbl.length seen)
+
+(* --- atomic export files ------------------------------------------------- *)
+
+let test_atomic_file_write () =
+  (* Exporters must never leave a truncated artifact: a crash mid-write
+     leaves the previous file intact and no temp debris. *)
+  let dir = Filename.temp_file "emask-atomic" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "stats.json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+  @@ fun () ->
+  Obs_json.with_atomic_file path (fun oc -> output_string oc "{\"ok\": 1}");
+  (* A writer that dies after flushing partial content must not
+     clobber the good artifact. *)
+  (try
+     Obs_json.with_atomic_file path (fun oc ->
+         output_string oc "{\"tru";
+         flush oc;
+         failwith "simulated crash mid-write")
+   with Failure _ -> ());
+  let ic = open_in path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "previous artifact intact" "{\"ok\": 1}" content;
+  Alcotest.(check (list string))
+    "no temp debris" [ "stats.json" ]
+    (List.sort compare (Array.to_list (Sys.readdir dir)))
+
 (* --- integration -------------------------------------------------------- *)
 
 let test_spcf_records_bdd_activity () =
@@ -511,6 +583,9 @@ let () =
         [
           Alcotest.test_case "iso8601" `Quick test_ledger_iso8601;
           Alcotest.test_case "append/read round-trip" `Quick test_ledger_roundtrip;
+          Alcotest.test_case "concurrent appends never tear" `Quick
+            test_ledger_concurrent_appends;
+          Alcotest.test_case "atomic export files" `Quick test_atomic_file_write;
         ] );
       ( "integration",
         [
