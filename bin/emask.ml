@@ -876,11 +876,22 @@ let serve_ledger_arg =
   in
   Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
 
+let read_timeout_arg =
+  let doc =
+    "Per-connection request-read deadline in seconds (SO_RCVTIMEO): a client \
+     that connects but never finishes its request is dropped after $(docv) \
+     instead of blocking admission."
+  in
+  Arg.(
+    value
+    & opt (pos_float_conv "--read-timeout") 10.
+    & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
+
 let verbose_arg =
   let doc = "Log lifecycle events to stderr." in
   Arg.(value & flag & info [ "verbose" ] ~doc)
 
-let serve_run port socket jobs queue cache_mb ledger verbose bflags =
+let serve_run port socket jobs queue cache_mb ledger read_timeout verbose bflags =
   guarded @@ fun () ->
   let bind =
     match socket with
@@ -895,6 +906,7 @@ let serve_run port socket jobs queue cache_mb ledger verbose bflags =
       cache_mb;
       default_budget = resolve_budget bflags;
       ledger = (match ledger with Some _ -> ledger | None -> Obs_ledger.path ());
+      read_timeout;
       verbose;
     }
   in
@@ -916,7 +928,7 @@ let serve_cmd =
           one-shot CLI")
     Term.(
       const serve_run $ port_arg $ socket_arg $ jobs_arg $ queue_arg $ cache_mb_arg
-      $ serve_ledger_arg $ verbose_arg $ budget_term)
+      $ serve_ledger_arg $ read_timeout_arg $ verbose_arg $ budget_term)
 
 (* --- client -------------------------------------------------------------- *)
 

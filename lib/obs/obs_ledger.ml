@@ -87,19 +87,24 @@ let write_all fd s =
     off := !off + Unix.single_write fd b !off (n - !off)
   done
 
-(* Append is best-effort by design: a read-only filesystem or a bad
-   EMASK_LEDGER path must not fail the run it is trying to describe. *)
+(* Append is best-effort by design: a read-only filesystem, a bad
+   EMASK_LEDGER path, or a write that fails mid-record (ENOSPC, EIO)
+   must not fail the run — or kill the server worker domain — it is
+   trying to describe. Every [Unix_error] on the open/write/close path
+   degrades to an stderr warning. *)
 let append ?path:p ?notes:ns ~cmd () =
   match (match p with Some _ -> p | None -> path ()) with
   | None -> ()
   | Some file -> (
     let line = Obs_json.to_string (record ?notes:ns ~cmd ()) ^ "\n" in
     if ns = None then notes := [];
+    let warn e = Printf.eprintf "emask: ledger: %s: %s\n%!" file (Unix.error_message e) in
     match Unix.openfile file [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 with
     | fd ->
-      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> write_all fd line)
-    | exception Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "emask: ledger: %s: %s\n%!" file (Unix.error_message e))
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (e, _, _) -> warn e)
+        (fun () -> try write_all fd line with Unix.Unix_error (e, _, _) -> warn e)
+    | exception Unix.Unix_error (e, _, _) -> warn e)
 
 let read_file file =
   match open_in file with

@@ -5,11 +5,14 @@
    domains drain a bounded queue of accepted connections. Admission
    control happens at accept time — a full queue is answered with a
    structured rejection immediately, never by silently parking the
-   client. Each running job owns a per-request {!Budget.flag}; a
-   watcher thread per job turns client disconnect into a tripped flag,
-   which the budget machinery surfaces as
-   [Budget_exceeded Cancelled] at the next poll — cancellation is
-   cooperative and cannot corrupt a shared BDD manager mid-operation.
+   client; accepted sockets carry an SO_RCVTIMEO deadline so a client
+   that never finishes its request cannot wedge the accept thread.
+   Each job owns a per-request {!Budget.flag}; watcher threads turn
+   client disconnect into a tripped flag — [watch_queue] sweeps parked
+   jobs, [watch_disconnect] covers the running one — which the budget
+   machinery surfaces as [Budget_exceeded Cancelled] at the next
+   poll — cancellation is cooperative and cannot corrupt a shared BDD
+   manager mid-operation.
 
    Scrapes are served in the accept loop (never queued): a [metrics]
    job frame, or a plain [GET /metrics] HTTP request — the first bytes
@@ -26,6 +29,10 @@ type config = {
   default_budget : Budget.spec;
       (** merged under every request's own budget (request wins) *)
   ledger : string option;  (** per-request JSONL records, appended here *)
+  read_timeout : float;
+      (** SO_RCVTIMEO on accepted sockets: a client that connects and
+          never finishes its request head/frame costs at most this
+          many seconds of the accept thread, not the daemon *)
   verbose : bool;
 }
 
@@ -37,6 +44,7 @@ let default_config =
     cache_mb = 256;
     default_budget = Budget.no_limits;
     ledger = None;
+    read_timeout = 10.;
     verbose = false;
   }
 
@@ -116,9 +124,10 @@ let run_job t (j : job) note =
     (code, Buffer.contents buf)
   | Serve_protocol.Eco (c, r, b) ->
     (* Whole-job entry lock: the cached baseline's manager is shared,
-       and the recompute mutates it (see Serve_cache). *)
-    Serve_cache.with_eco_lock t.cache c (fun () ->
-        let snapshot_for = Serve_cache.snapshot_for t.cache c in
+       and the recompute mutates it. The entry is pinned for the whole
+       job — the shadowed [lookup] resolves this circuit to the locked
+       entry, never back through the table (see Serve_cache). *)
+    Serve_cache.with_eco_lock t.cache c (fun ~lookup ~snapshot_for ->
         let code = Serve_jobs.run_eco ~note ~snapshot_for buf lookup c r (budget b) in
         (code, Buffer.contents buf))
   | Serve_protocol.Ping delay -> run_ping j.flag delay
@@ -177,6 +186,36 @@ let watch_disconnect fd flag ~done_ =
       with Unix.Unix_error _ -> ())
     ()
 
+(* The queued-job counterpart of [watch_disconnect]: one thread (owned
+   by the accept domain) that polls the fds of jobs still parked in
+   the queue, so a client that hangs up while waiting trips its cancel
+   flag before a worker wastes time running the job — exactly the
+   overload conditions the queue exists for. Racing a worker that
+   dequeues the job mid-sweep is harmless: MSG_PEEK consumes nothing,
+   and tripping the flag of a job that already ran is a no-op; a peek
+   that errors (the fd closed under us) conservatively trips too. *)
+let watch_queue t =
+  Thread.create
+    (fun () ->
+      while not (Atomic.get t.stop) do
+        Thread.delay poll_interval;
+        Mutex.lock t.qlock;
+        let queued = Queue.fold (fun acc j -> j :: acc) [] t.queue in
+        Mutex.unlock t.qlock;
+        List.iter
+          (fun j ->
+            if not (Budget.tripped j.flag) then
+              try
+                match Unix.select [ j.fd ] [] [] 0. with
+                | [ _ ], _, _ ->
+                  if Unix.recv j.fd (Bytes.create 1) 0 1 [ Unix.MSG_PEEK ] = 0 then
+                    Budget.trip j.flag
+                | _ -> ()
+              with Unix.Unix_error _ -> Budget.trip j.flag)
+          queued
+      done)
+    ()
+
 (* --- workers ------------------------------------------------------------- *)
 
 let dequeue t =
@@ -218,7 +257,8 @@ let worker t () =
       let started = Unix.gettimeofday () in
       let resp =
         if Budget.tripped j.flag then begin
-          (* The client left while the job sat in the queue. *)
+          (* The client left while the job sat in the queue — tripped
+             by [watch_queue]'s sweep of parked fds. *)
           Serve_metrics.incr Serve_metrics.cancelled;
           Serve_protocol.Error_resp ("CANCELLED", "client disconnected; job cancelled")
         end
@@ -319,10 +359,7 @@ let enqueue t fd req =
   Mutex.unlock t.qlock;
   admitted
 
-(* Handle one accepted connection in the accept loop. Returns [true]
-   to keep serving, [false] on shutdown. *)
-let handle_conn t fd =
-  let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+let handle_conn_body t fd ~close =
   match peek_prefix fd 4 with
   | "GET " ->
     serve_http t fd;
@@ -376,6 +413,21 @@ let handle_conn t fd =
         true
       end)
 
+(* Handle one accepted connection in the accept loop. Returns [true]
+   to keep serving, [false] on shutdown. Every per-connection I/O
+   failure — a reset peer (ECONNRESET from a port scanner or an
+   aborted curl), a request read that trips SO_RCVTIMEO — must cost
+   exactly this connection: this wrapper is what keeps one misbehaving
+   client from reaching [run]'s shutdown path and taking the daemon
+   with it. *)
+let handle_conn t fd =
+  let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+  try handle_conn_body t fd ~close
+  with Unix.Unix_error _ as e ->
+    logf t "connection error: %s" (Printexc.to_string e);
+    close ();
+    true
+
 let listen_socket config =
   match config.bind with
   | Unix_sock path ->
@@ -428,9 +480,17 @@ let run ?(ready = fun _ -> ()) config =
   logf t "listening (%d workers, queue %d, cache %d MiB)" config.jobs
     config.queue_cap config.cache_mb;
   let workers = List.init config.jobs (fun _ -> Domain.spawn (worker t)) in
+  let queue_watcher = watch_queue t in
   let rec accept_loop () =
     match Unix.accept listen_fd with
-    | fd, _ -> if handle_conn t fd then accept_loop ()
+    | fd, _ ->
+      (* Bound every request read (the peek, an HTTP head, a frame):
+         a client that connects and trickles or sends nothing raises
+         EAGAIN into [handle_conn]'s per-connection handler instead of
+         blocking the accept thread — and every other client — forever. *)
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO config.read_timeout
+       with Unix.Unix_error _ -> ());
+      if handle_conn t fd then accept_loop ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
   in
   (try accept_loop () with Unix.Unix_error _ -> ());
@@ -439,6 +499,7 @@ let run ?(ready = fun _ -> ()) config =
   Condition.broadcast t.qcond;
   Mutex.unlock t.qlock;
   List.iter Domain.join workers;
+  Thread.join queue_watcher;
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
   (match config.bind with
   | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())

@@ -3,10 +3,12 @@
 
     One accept loop (the calling thread) admits connections to a
     bounded queue drained by a pool of worker domains; a full queue is
-    answered with a structured rejection at accept time. Each running
-    job owns a per-request {!Budget.flag} that a watcher thread trips
-    on client disconnect — cancellation is cooperative, surfacing as
-    [Budget_exceeded Cancelled] at the job's next budget poll. Results
+    answered with a structured rejection at accept time. Each job owns
+    a per-request {!Budget.flag} that watcher threads trip on client
+    disconnect — while it waits in the queue as well as while it runs,
+    so an abandoned request is dropped, not computed. Cancellation is
+    cooperative, surfacing as [Budget_exceeded Cancelled] at the job's
+    next budget poll. Results
     are rendered by the same {!Serve_jobs} runners the one-shot CLI
     uses, so responses are byte-identical to CLI output. A connection
     whose first bytes are ["GET "] is served as a plain-HTTP
@@ -23,12 +25,18 @@ type config = {
   default_budget : Budget.spec;
       (** merged under every request's own budget (request wins) *)
   ledger : string option;  (** per-request JSONL records, appended here *)
+  read_timeout : float;
+      (** SO_RCVTIMEO on accepted sockets, in seconds: a client that
+          connects and never finishes its request costs at most this
+          long on the accept thread before being dropped — without it,
+          one silent connection would block all admission (and
+          [/metrics] scrapes) indefinitely *)
   verbose : bool;
 }
 
 val default_config : config
 (** TCP on 127.0.0.1:9309, 2 workers, queue 16, 256 MiB cache, no
-    budget, no ledger. *)
+    budget, no ledger, 10 s request-read timeout. *)
 
 val run : ?ready:(int -> unit) -> config -> unit
 (** Serve until a [shutdown] request. [ready] fires once the socket is

@@ -134,11 +134,14 @@ let find t (c : Serve_jobs.circuit) =
 
 let lookup t c = (find t c).job
 
-(* Eco baseline memoization. Assumes the caller holds the entry lock
-   (via [with_eco_lock]); only the bookkeeping takes the table lock. *)
-let snapshot_for t (c : Serve_jobs.circuit) : Serve_jobs.snapshot_for =
+(* Eco baseline memoization on a pinned [entry]. Runs with that
+   entry's lock held (via [with_eco_lock]); only the size bookkeeping
+   takes the table lock — and only charges the table if this exact
+   entry is still the cached one (an entry evicted mid-job keeps its
+   snapshot for the rest of the job, but the table does not pay for
+   it). *)
+let snapshot_on t (e : entry) : Serve_jobs.snapshot_for =
  fun ~theta ~band ~jobs ~budget d0 ->
-  let e = find t c in
   match List.assoc_opt (theta, band) e.snaps with
   | Some snap ->
     Serve_metrics.incr Serve_metrics.snap_hits;
@@ -148,17 +151,28 @@ let snapshot_for t (c : Serve_jobs.circuit) : Serve_jobs.snapshot_for =
     let snap = Eco.snapshot ~theta ?band ~jobs ~budget d0 in
     e.snaps <- ((theta, band), snap) :: e.snaps;
     locked t.tlock (fun () ->
-        if Hashtbl.mem t.tbl e.key then begin
+        match Hashtbl.find_opt t.tbl e.key with
+        | Some e' when e' == e ->
           t.used <- t.used + per_snap_bytes;
           evict_to_cap t
-        end);
+        | Some _ | None -> ());
     snap
 
 (* Serialize an eco job on its entry: the cached baseline's BDD
    manager is shared between every job on this circuit, and the
-   recompute mutates it. Mutexes are not reentrant, so [snapshot_for]
-   (called inside [f]) must not re-lock — and does not. *)
-let with_eco_lock t (c : Serve_jobs.circuit) f = locked (find t c).lock f
+   recompute mutates it. The entry is resolved ONCE and pinned for the
+   whole job — the [lookup] and [snapshot_for] handed to [f] resolve
+   this circuit to that same entry, never back through [find]. If
+   cache pressure evicts and reloads the key mid-job, the reloaded
+   entry has its own manager and its own lock, so a later job cannot
+   share mutable state with this one; re-resolving here instead would
+   let two jobs hold different entries' locks while touching one
+   manager. Mutexes are not reentrant, so nothing inside [f] may
+   re-lock — and nothing does. *)
+let with_eco_lock t (c : Serve_jobs.circuit) f =
+  let e = find t c in
+  let lookup c' = if key_of c' = e.key then e.job else (find t c').job in
+  locked e.lock (fun () -> f ~lookup ~snapshot_for:(snapshot_on t e))
 
 let stats t =
   locked t.tlock (fun () -> (Hashtbl.length t.tbl, t.used, t.cap_bytes))

@@ -20,15 +20,19 @@ val lookup : t -> Serve_jobs.lookup
 (** The [lookup] handed to job runners: LRU hit, or
     {!Serve_jobs.load_entry} (mapping forced) + insert. *)
 
-val snapshot_for : t -> Serve_jobs.circuit -> Serve_jobs.snapshot_for
-(** Memoized eco baselines. Must be called with the circuit's entry
-    lock held ({!with_eco_lock}) — the cached snapshot's BDD manager
-    is shared across jobs. *)
-
-val with_eco_lock : t -> Serve_jobs.circuit -> (unit -> 'a) -> 'a
+val with_eco_lock :
+  t ->
+  Serve_jobs.circuit ->
+  (lookup:Serve_jobs.lookup ->
+  snapshot_for:Serve_jobs.snapshot_for ->
+  'a) ->
+  'a
 (** Serialize an eco job on its circuit's entry: wraps baseline reuse
-    and the manager-mutating recompute. Eco jobs on different circuits
-    still run in parallel. *)
+    and the manager-mutating recompute. The entry is resolved once and
+    pinned — [lookup] and [snapshot_for] passed to the callback always
+    answer for that same entry, so the lock held and the manager
+    mutated cannot diverge even if the key is evicted and reloaded
+    mid-job. Eco jobs on different circuits still run in parallel. *)
 
 val stats : t -> int * int * int
 (** [(entries, used_bytes, cap_bytes)]. *)

@@ -1,8 +1,10 @@
 (* End-to-end tests of the emask serve daemon: served responses are
    byte-identical to the one-shot CLI across worker counts, repeated
    circuits hit the LRU, saturation and budget exhaustion produce
-   structured rejections, and a client disconnect cancels the running
-   job via its budget flag. *)
+   structured rejections, a client disconnect cancels the running job
+   via its budget flag, hung clients are shed by the read timeout
+   without taking the daemon down, and a disconnect while queued drops
+   the job unrun. *)
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -276,6 +278,74 @@ let test_disconnect_cancels () =
       in
       wait_cancelled ())
 
+(* --- abusive clients ------------------------------------------------------- *)
+
+(* A client that connects and never finishes its request must cost the
+   daemon at most --read-timeout on the accept thread, and the failed
+   read must cost exactly that connection — not the accept loop: after
+   both a hung HTTP head and a hung half-frame, the daemon still
+   answers pings, and the stalled connections have been dropped (EOF
+   on the client side). *)
+let test_abusive_clients_survive () =
+  with_server ~args:[ "--read-timeout"; "0.5" ] (fun sock ->
+      let hang payload =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX sock);
+        let b = Bytes.of_string payload in
+        ignore (Unix.write fd b 0 (Bytes.length b));
+        fd
+      in
+      let http = hang "GET " (* head that never completes *) in
+      let frame = hang "\x00\x00" (* frame header that never completes *) in
+      let code, _, _ = run [ "client"; "ping"; "--socket"; sock ] in
+      check_int "daemon serves past hung clients" 0 code;
+      let dropped fd =
+        let deadline = Unix.gettimeofday () +. 10. in
+        let rec wait () =
+          match Unix.select [ fd ] [] [] 0.2 with
+          | [ _ ], _, _ -> Unix.recv fd (Bytes.create 1) 0 1 [] = 0
+          | _ -> Unix.gettimeofday () <= deadline && wait ()
+        in
+        wait ()
+      in
+      check "hung HTTP client was dropped" true (dropped http);
+      check "hung frame client was dropped" true (dropped frame);
+      Unix.close http;
+      Unix.close frame)
+
+(* A client that hangs up while its job is still parked in the queue
+   must have the job dropped as CANCELLED, not run: the queue watcher
+   trips the flag at park time, so the counter moves long before the
+   abandoned ping's nominal 30 s delay could elapse. *)
+let test_queued_disconnect_drops () =
+  with_server ~args:[ "--jobs"; "1" ] (fun sock ->
+      let dev_null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+      let busy =
+        Unix.create_process emask
+          [| emask; "client"; "ping"; "--delay"; "2"; "--socket"; sock |]
+          dev_null dev_null dev_null
+      in
+      Unix.close dev_null;
+      Unix.sleepf 0.3 (* the lone worker picks the first ping up *);
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      Serve_protocol.send_request fd (Serve_protocol.Ping 30.);
+      Unix.sleepf 0.3 (* the second ping parks in the queue *);
+      Unix.close fd (* ... and its client gives up *);
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec wait_cancelled () =
+        let m = scrape sock in
+        if counter_value m "emask_serve_cancelled" >= 1 then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "queued job of a gone client was not dropped"
+        else begin
+          Unix.sleepf 0.2;
+          wait_cancelled ()
+        end
+      in
+      wait_cancelled ();
+      ignore (Unix.waitpid [] busy))
+
 (* --- protocol-level rejection --------------------------------------------- *)
 
 let test_protocol_rejections () =
@@ -311,6 +381,10 @@ let () =
           Alcotest.test_case "queue full" `Quick test_queue_full;
           Alcotest.test_case "budget exceeded" `Quick test_budget_exceeded;
           Alcotest.test_case "disconnect cancels" `Quick test_disconnect_cancels;
+          Alcotest.test_case "abusive clients survive" `Quick
+            test_abusive_clients_survive;
+          Alcotest.test_case "queued disconnect drops" `Quick
+            test_queued_disconnect_drops;
           Alcotest.test_case "protocol rejections" `Quick test_protocol_rejections;
         ] );
     ]
